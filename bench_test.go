@@ -1,0 +1,161 @@
+// Package repro_test benchmarks the regeneration of every table and
+// figure in the paper's evaluation section (one Benchmark per artifact),
+// plus the headline end-to-end campaign and the §2.1.2 worker-scaling
+// ablation.  Analysis benchmarks share a single paper-scale campaign
+// (5 × 100 × 7 = 3500 surrogate trainings) built once per run.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ddp"
+	"repro/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchCamp *experiments.Campaign
+	benchErr  error
+)
+
+func paperCampaign(b *testing.B) *experiments.Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCamp, benchErr = experiments.RunPaperCampaign(context.Background(), experiments.PaperOptions())
+	})
+	if benchErr != nil {
+		b.Fatalf("campaign: %v", benchErr)
+	}
+	return benchCamp
+}
+
+// BenchmarkPaperCampaign runs the paper's full experiment — 5 independent
+// NSGA-II deployments, 3500 simulated DeePMD trainings — per iteration.
+func BenchmarkPaperCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.PaperOptions()
+		opts.Seed = int64(i) + 1
+		if _, err := experiments.RunPaperCampaign(context.Background(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Representation regenerates Table 1 (initialization
+// ranges and mutation standard deviations).
+func BenchmarkTable1Representation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := experiments.RenderTable1(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1Convergence regenerates Fig. 1's per-generation loss level
+// plots from the shared campaign.
+func BenchmarkFig1Convergence(b *testing.B) {
+	c := paperCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig1(c)
+		if len(f.Hists) != 7 {
+			b.Fatal("wrong generation count")
+		}
+		if s := f.Render(); len(s) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkFig2ParetoFront regenerates Fig. 2's final Pareto frontier.
+func BenchmarkFig2ParetoFront(b *testing.B) {
+	c := paperCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := experiments.Fig2(c); len(pts) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// BenchmarkTable2FrontierValues regenerates Table 2 (frontier force and
+// energy values).
+func BenchmarkTable2FrontierValues(b *testing.B) {
+	c := paperCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.RenderTable2(c); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig3ParallelCoordinates regenerates Fig. 3's parallel-
+// coordinates dataset and the §3.2 insight extraction.
+func BenchmarkFig3ParallelCoordinates(b *testing.B) {
+	c := paperCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := experiments.Fig3(c)
+		ins := experiments.AnalyzeFig3(c)
+		if len(p.Rows) == 0 || ins.Total == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// BenchmarkTable3SelectedSolutions regenerates Table 3 (lowest force,
+// lowest energy, lowest runtime among chemically accurate solutions).
+func BenchmarkTable3SelectedSolutions(b *testing.B) {
+	c := paperCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailureAccounting regenerates the §3.2 failed-training counts.
+func BenchmarkFailureAccounting(b *testing.B) {
+	c := paperCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Failures(c)
+		if r.TotalEvaluations != 3500 {
+			b.Fatal("wrong evaluation count")
+		}
+	}
+}
+
+// BenchmarkDDPWorkerScaling measures the allreduce cost as the simulated
+// GPU count grows — the ablation behind the §2.1.2/§2.2.1 distributed-
+// training discussion.
+func BenchmarkDDPWorkerScaling(b *testing.B) {
+	const params = 100000
+	for _, workers := range []int{1, 2, 6, 12} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			buffers := make([][]float64, workers)
+			for w := range buffers {
+				buffers[w] = make([]float64, params)
+				for i := range buffers[w] {
+					buffers[w][i] = float64(w + i)
+				}
+			}
+			b.SetBytes(int64(8 * params * workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ddp.AllReduceMean(buffers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return fmt.Sprintf("%s=%d", prefix, n)
+}

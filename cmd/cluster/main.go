@@ -1,0 +1,90 @@
+// Command cluster runs the distributed-evaluation components standalone,
+// mirroring the paper's Dask deployment on the Summit batch node
+// (§2.2.5): a scheduler, any number of workers (each evaluating genomes
+// with the Summit surrogate), and a driver mode that submits a whole
+// NSGA-II campaign through the scheduler.
+//
+// Usage:
+//
+//	cluster -mode scheduler [-addr 127.0.0.1:7077]
+//	cluster -mode worker    [-addr 127.0.0.1:7077] [-name w0] [-seed 2023]
+//	cluster -mode drive     [-addr 127.0.0.1:7077] [-runs 1] [-pop 20] [-gens 3]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpo"
+	"repro/internal/surrogate"
+)
+
+func main() {
+	log.SetFlags(0)
+	mode := flag.String("mode", "", "scheduler, worker, or drive")
+	addr := flag.String("addr", "127.0.0.1:7077", "scheduler address")
+	name := flag.String("name", "worker", "worker name")
+	seed := flag.Int64("seed", 2023, "surrogate / campaign seed")
+	runs := flag.Int("runs", 1, "drive: independent EA runs")
+	pop := flag.Int("pop", 20, "drive: population size")
+	gens := flag.Int("gens", 3, "drive: offspring generations")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	switch *mode {
+	case "scheduler":
+		sched, err := cluster.NewScheduler(*addr)
+		if err != nil {
+			log.Fatalf("scheduler: %v", err)
+		}
+		sched.Logf = log.Printf
+		fmt.Printf("scheduler listening on %s (Ctrl-C to stop)\n", sched.Addr())
+		<-ctx.Done()
+		fmt.Printf("final stats: %s\n", sched)
+		sched.Close()
+
+	case "worker":
+		ev := surrogate.NewEvaluator(surrogate.Config{Seed: *seed})
+		w, err := cluster.NewWorker(*addr, *name, cluster.EvalHandler(ev))
+		if err != nil {
+			log.Fatalf("worker: %v", err)
+		}
+		w.TaskTimeout = 2 * time.Hour
+		fmt.Printf("worker %q connected to %s\n", *name, *addr)
+		if err := w.Run(ctx); err != nil {
+			log.Fatalf("worker exited: %v", err)
+		}
+
+	case "drive":
+		client, err := cluster.NewClient(*addr)
+		if err != nil {
+			log.Fatalf("client: %v", err)
+		}
+		defer client.Close()
+		res, err := hpo.RunCampaign(ctx, hpo.CampaignConfig{
+			Runs: *runs, PopSize: *pop, Generations: *gens,
+			Evaluator:   &cluster.Evaluator{Client: client},
+			Parallelism: *pop, AnnealFactor: 0.85, BaseSeed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("campaign: %v", err)
+		}
+		fmt.Printf("campaign done: %d evaluations, %d failures, frontier:\n",
+			res.TotalEvaluations(), res.TotalFailures())
+		for i, ind := range res.ParetoFront() {
+			h, _ := hpo.Decode(ind.Genome)
+			fmt.Printf("  %2d energy=%.4f force=%.4f  %s\n", i+1, ind.Fitness[0], ind.Fitness[1], h)
+		}
+
+	default:
+		log.Fatal("cluster: -mode must be scheduler, worker, or drive")
+	}
+}

@@ -1,0 +1,143 @@
+// Command hpo runs the NSGA-II hyperparameter-optimization campaign.  Two
+// evaluation backends are available:
+//
+//   - surrogate (default): the calibrated Summit-training response
+//     surface — paper scale finishes in seconds.
+//   - real: genuine in-process deep-potential trainings on an MD-generated
+//     dataset (use small -pop/-gens/-steps; every evaluation trains a
+//     network).
+//
+// Results are printed as CSV (one row per final solution) plus a frontier
+// summary.
+//
+// Usage:
+//
+//	hpo [-backend surrogate|real] [-runs 5] [-pop 100] [-gens 6] [-seed 2023]
+//	    [-data data/] [-steps 200] [-workers 6] [-out results.csv]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ea"
+	"repro/internal/hpo"
+	"repro/internal/surrogate"
+)
+
+func main() {
+	log.SetFlags(0)
+	backend := flag.String("backend", "surrogate", "evaluation backend: surrogate or real")
+	runs := flag.Int("runs", 5, "independent EA runs")
+	pop := flag.Int("pop", 100, "population size")
+	gens := flag.Int("gens", 6, "offspring generations")
+	seed := flag.Int64("seed", 2023, "base seed")
+	par := flag.Int("par", 8, "parallel evaluations")
+	dataDir := flag.String("data", "data", "dataset directory (real backend; expects train/ and val/)")
+	steps := flag.Int("steps", 200, "training steps per evaluation (real backend)")
+	workers := flag.Int("workers", 6, "simulated data-parallel workers (real backend)")
+	out := flag.String("out", "", "CSV output path (default stdout)")
+	saveJSON := flag.String("save", "", "also save the full campaign (every generation) as JSON")
+	timeout := flag.Duration("timeout", 2*time.Hour, "per-evaluation limit (paper: 2h)")
+	flag.Parse()
+
+	var evaluator ea.Evaluator
+	switch *backend {
+	case "surrogate":
+		evaluator = surrogate.NewEvaluator(surrogate.Config{Seed: *seed})
+	case "real":
+		trainSet, err := dataset.Load(*dataDir + "/train")
+		if err != nil {
+			log.Fatalf("loading %s/train: %v (run mdgen first)", *dataDir, err)
+		}
+		valSet, err := dataset.Load(*dataDir + "/val")
+		if err != nil {
+			log.Fatalf("loading %s/val: %v", *dataDir, err)
+		}
+		workDir, err := os.MkdirTemp("", "hpo-runs-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(workDir)
+		rt := &hpo.RealTrainer{
+			Train: trainSet, Val: valSet,
+			Workers: *workers, StepsOverride: *steps, ValFrames: 4,
+		}
+		evaluator = &hpo.WorkflowEvaluator{
+			WorkDir: workDir,
+			Steps:   *steps, DispFreq: maxInt(*steps/4, 1), Seed: *seed,
+			TrainDir: *dataDir + "/train", ValDir: *dataDir + "/val",
+			Trainer: hpo.TrainerFunc(rt.TrainRun),
+		}
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+
+	fmt.Fprintf(os.Stderr, "hpo: backend=%s runs=%d pop=%d gens=%d (%d evaluations)\n",
+		*backend, *runs, *pop, *gens, *runs**pop*(*gens+1))
+	start := time.Now()
+	res, err := hpo.RunCampaign(context.Background(), hpo.CampaignConfig{
+		Runs: *runs, PopSize: *pop, Generations: *gens,
+		Evaluator: evaluator, Parallelism: *par,
+		EvalTimeout: *timeout, AnnealFactor: 0.85, BaseSeed: *seed,
+		Observer: func(run, gen int, evaluated, survivors ea.Population) {
+			fmt.Fprintf(os.Stderr, "  run %d gen %d: %d evaluated, %d failures\n",
+				run, gen, len(evaluated), evaluated.Failures())
+		},
+	})
+	if err != nil {
+		log.Fatalf("campaign: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hpo: done in %v; %d evaluations, %d failures\n",
+		time.Since(start).Round(time.Millisecond), res.TotalEvaluations(), res.TotalFailures())
+
+	if *saveJSON != "" {
+		if err := hpo.SaveCampaignFile(*saveJSON, res); err != nil {
+			log.Fatalf("saving campaign: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "hpo: saved full campaign to %s\n", *saveJSON)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, "energy_loss,force_loss,start_lr,stop_lr,rcut,rcut_smth,scale_by_worker,desc_activ_func,fitting_activ_func,on_frontier")
+	frontSet := map[*ea.Individual]bool{}
+	for _, ind := range res.ParetoFront() {
+		frontSet[ind] = true
+	}
+	for _, ind := range res.LastGenerations() {
+		if ind.Fitness.IsFailure() {
+			continue
+		}
+		h, err := hpo.Decode(ind.Genome)
+		if err != nil {
+			continue
+		}
+		onFront := 0
+		if frontSet[ind] {
+			onFront = 1
+		}
+		fmt.Fprintf(w, "%.6g,%.6g,%.6g,%.6g,%.4f,%.4f,%s,%s,%s,%d\n",
+			ind.Fitness[0], ind.Fitness[1], h.StartLR, h.StopLR, h.RCut, h.RCutSmth,
+			h.ScaleByWorker, h.DescActiv, h.FittingActiv, onFront)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

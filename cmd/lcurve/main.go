@@ -1,0 +1,103 @@
+// Command lcurve inspects a DeePMD-style lcurve.out training log: it
+// prints summary statistics and an ASCII chart of the validation losses
+// over training steps — the file the paper's fitness extraction reads
+// (§2.2.4 item 4c).
+//
+// Usage:
+//
+//	lcurve path/to/lcurve.out [-width 70] [-height 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/deepmd"
+)
+
+func main() {
+	log.SetFlags(0)
+	width := flag.Int("width", 70, "chart width in columns")
+	height := flag.Int("height", 16, "chart height in rows")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lcurve [flags] <lcurve.out>")
+		os.Exit(2)
+	}
+	recs, err := deepmd.ReadLCurveFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("reading %s: %v", flag.Arg(0), err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("no data rows")
+	}
+	last := recs[len(recs)-1]
+	fmt.Printf("%d records, steps %d..%d\n", len(recs), recs[0].Step, last.Step)
+	fmt.Printf("final: rmse_e_val=%.6g eV/atom  rmse_f_val=%.6g eV/Å  lr=%.3g\n",
+		last.RmseEVal, last.RmseFVal, last.LR)
+
+	fmt.Println("\nrmse_f_val over training (log scale):")
+	fmt.Print(chart(recs, func(r deepmd.LCurveRecord) float64 { return r.RmseFVal }, *width, *height))
+	fmt.Println("\nrmse_e_val over training (log scale):")
+	fmt.Print(chart(recs, func(r deepmd.LCurveRecord) float64 { return r.RmseEVal }, *width, *height))
+}
+
+// chart renders one series as ASCII, y on a log axis.
+func chart(recs []deepmd.LCurveRecord, get func(deepmd.LCurveRecord) float64, width, height int) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range recs {
+		v := get(r)
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if !(hi > 0) || lo == hi {
+		return "(series constant or empty)\n"
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i, r := range recs {
+		v := get(r)
+		if v <= 0 || math.IsNaN(v) {
+			continue
+		}
+		x := i * (width - 1) / max(len(recs)-1, 1)
+		y := int((math.Log10(v) - llo) / (lhi - llo) * float64(height-1))
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		grid[height-1-y][x] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%.2e", hi)
+		case height - 1:
+			label = fmt.Sprintf("%.2e", lo)
+		}
+		fmt.Fprintf(&b, "%10s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%10s  %-*d%*d\n", "step", width-8, recs[0].Step, 8, recs[len(recs)-1].Step)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

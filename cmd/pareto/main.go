@@ -1,0 +1,87 @@
+// Command pareto reads rows of objective values from a CSV (or
+// whitespace-separated) stream and prints the non-dominated subset — the
+// standalone version of the Fig. 2 frontier extraction.
+//
+// Usage:
+//
+//	pareto [-cols 0,1] < results.csv
+//
+// All selected columns are minimized.  Lines failing to parse are
+// skipped with a warning.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ea"
+	"repro/internal/nsga2"
+)
+
+func main() {
+	log.SetFlags(0)
+	colsFlag := flag.String("cols", "0,1", "comma-separated objective column indices")
+	flag.Parse()
+
+	var cols []int
+	for _, c := range strings.Split(*colsFlag, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || i < 0 {
+			log.Fatalf("bad column index %q", c)
+		}
+		cols = append(cols, i)
+	}
+
+	var pop ea.Population
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		fit := make(ea.Fitness, len(cols))
+		ok := true
+		for k, c := range cols {
+			if c >= len(fields) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(fields[c], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			fit[k] = v
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pareto: skipping line %d: %q\n", lineNo, line)
+			continue
+		}
+		pop = append(pop, &ea.Individual{Fitness: fit, Evaluated: true})
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+
+	front := nsga2.NonDominated(pop)
+	frontSet := map[*ea.Individual]bool{}
+	for _, ind := range front {
+		frontSet[ind] = true
+	}
+	n := 0
+	for i, ind := range pop {
+		if frontSet[ind] {
+			fmt.Println(lines[i])
+			n++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pareto: %d of %d rows non-dominated\n", n, len(pop))
+}

@@ -1,0 +1,75 @@
+// Command train is the `dp train` substitute: it reads a DeePMD-style
+// input.json, loads the referenced datasets, trains a deep-potential
+// model in-process and writes lcurve.out next to the input — the exact
+// artifact the paper's fitness extraction reads (§2.2.4).
+//
+// Usage:
+//
+//	train -input run/input.json [-workers 6] [-steps 0] [-valframes 8]
+//
+// -steps, if positive, truncates numb_steps for reduced-scale runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/deepmd"
+	"repro/internal/hpo"
+)
+
+func main() {
+	log.SetFlags(0)
+	input := flag.String("input", "input.json", "path to input.json")
+	workers := flag.Int("workers", 6, "simulated data-parallel workers (paper: 6 GPUs)")
+	steps := flag.Int("steps", 0, "override numb_steps (0 = use input.json)")
+	valFrames := flag.Int("valframes", 8, "validation frames per lcurve evaluation")
+	flag.Parse()
+
+	in, err := deepmd.ParseInputFile(*input)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", *input, err)
+	}
+	if err := in.Validate(); err != nil {
+		log.Fatalf("invalid input.json: %v", err)
+	}
+	if len(in.Training.Systems) == 0 || len(in.Training.ValidationData.Systems) == 0 {
+		log.Fatal("input.json must reference training and validation systems")
+	}
+	runDir := filepath.Dir(*input)
+	trainSet, err := dataset.Load(resolve(runDir, in.Training.Systems[0]))
+	if err != nil {
+		log.Fatalf("loading training data: %v", err)
+	}
+	valSet, err := dataset.Load(resolve(runDir, in.Training.ValidationData.Systems[0]))
+	if err != nil {
+		log.Fatalf("loading validation data: %v", err)
+	}
+	fmt.Printf("loaded %d training and %d validation frames (%d atoms)\n",
+		trainSet.Len(), valSet.Len(), trainSet.NAtoms())
+
+	rt := &hpo.RealTrainer{
+		Train: trainSet, Val: valSet,
+		Workers: *workers, StepsOverride: *steps, ValFrames: *valFrames,
+	}
+	if err := rt.TrainRun(context.Background(), *input, runDir); err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	rmseE, rmseF, err := deepmd.FinalLosses(filepath.Join(runDir, "lcurve.out"))
+	if err != nil {
+		log.Fatalf("reading lcurve.out: %v", err)
+	}
+	fmt.Printf("final rmse_e_val = %.6g eV/atom, rmse_f_val = %.6g eV/Å\n", rmseE, rmseF)
+}
+
+// resolve joins relative dataset paths against the run directory.
+func resolve(runDir, p string) string {
+	if filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(runDir, p)
+}

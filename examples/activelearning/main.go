@@ -1,0 +1,66 @@
+// Activelearning: a DP-GEN-style on-the-fly training loop — the
+// production workflow that surrounds the hyperparameters the paper's
+// campaign tunes.  A committee of deep potentials is trained on a small
+// reference dataset; committee-driven MD explores configuration space;
+// configurations where the committee disagrees (model deviation inside a
+// trust window) are labeled with the reference potential and added to the
+// training set; the committee retrains.  Watch the dataset grow and the
+// validation error respond round by round.
+//
+//	go run ./examples/activelearning
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/active"
+	"repro/internal/deepmd"
+	"repro/internal/descriptor"
+	"repro/internal/md"
+	"repro/internal/nn"
+)
+
+func main() {
+	species := []md.Species{
+		md.Al, md.Al, md.K, md.K,
+		md.Cl, md.Cl, md.Cl, md.Cl, md.Cl, md.Cl, md.Cl, md.Cl,
+	}
+	cfg := active.Config{
+		EnsembleSize: 3,
+		Model: deepmd.ModelConfig{
+			Descriptor: descriptor.Config{
+				RCut: 4.0, RCutSmth: 2.0,
+				EmbeddingSizes: []int{6, 12}, AxisNeurons: 3,
+				Activation: nn.Tanh, NumSpecies: 3, NeighborNorm: 8,
+			},
+			FittingSizes:      []int{16},
+			FittingActivation: nn.Tanh,
+			NumSpecies:        3,
+		},
+		Train: deepmd.TrainConfig{
+			Steps: 500, BatchSize: 2, StartLR: 0.005, StopLR: 1e-4,
+			ScaleByWorker: "none", Workers: 1, DispFreq: 500, ValFrames: 6,
+		},
+		Rounds: 4, InitialFrames: 24,
+		ExploreSteps: 300, SampleEvery: 20,
+		DevLo: 0.05, DevHi: 5.0,
+		MaxSelectPerRound: 8,
+		Temperature:       498, Dt: 0.5,
+		Seed: 11,
+	}
+
+	fmt.Println("running 4 active-learning rounds (train committee → explore → select → label)…")
+	rep, err := active.Run(context.Background(), species, 8.5, md.NewPaperBMH(4.0), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+	first, last := rep.Rounds[0], rep.Rounds[len(rep.Rounds)-1]
+	fmt.Printf("\ndataset grew %d → %d frames; committee force deviation %.3f → %.3f eV/Å\n",
+		first.TrainFrames, last.TrainFrames, first.MeanDeviation, last.MeanDeviation)
+	fmt.Println("(in production, the labeler is DFT and each round's trainings use the")
+	fmt.Println(" hyperparameters the paper's NSGA-II campaign selected)")
+}

@@ -1,0 +1,75 @@
+// Walltime: the multi-job campaign pattern behind the paper's Summit
+// deployment — batch jobs were capped at 12 hours (§2.2.5), so a long
+// campaign must save its state and resume in the next submission.  This
+// example runs "job 1" (3 generations), saves the full campaign as JSON,
+// then "job 2" loads the file and continues for 3 more generations,
+// showing that the frontier strictly improves across the boundary.
+//
+//	go run ./examples/walltime
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ea"
+	"repro/internal/hpo"
+	"repro/internal/nsga2"
+	"repro/internal/surrogate"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "walltime-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	checkpoint := filepath.Join(dir, "campaign.json")
+
+	cfg := hpo.CampaignConfig{
+		Runs: 2, PopSize: 50, Generations: 3,
+		Evaluator:   surrogate.NewEvaluator(surrogate.Config{Seed: 99}),
+		Parallelism: 8, AnnealFactor: 0.85, BaseSeed: 99,
+	}
+
+	// ---- Job 1: run until "walltime", then checkpoint. ----
+	fmt.Println("job 1: running 2 runs × 4 evaluation rounds…")
+	first, err := hpo.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hpo.SaveCampaignFile(checkpoint, first); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(checkpoint)
+	fmt.Printf("job 1 done: %d evaluations, checkpoint %s (%d KiB)\n",
+		first.TotalEvaluations(), checkpoint, fi.Size()/1024)
+	ref := ea.Fitness{0.03, 0.6}
+	hv1 := nsga2.Hypervolume2D(first.LastGenerations(), ref)
+	fmt.Printf("job 1 frontier: %d points, hypervolume %.6f\n\n",
+		len(first.ParetoFront()), hv1)
+
+	// ---- Job 2: a fresh process loads the checkpoint and resumes. ----
+	fmt.Println("job 2: loading checkpoint and resuming 3 more generations…")
+	loaded, err := hpo.LoadCampaignFile(checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := hpo.ResumeCampaign(context.Background(), loaded, cfg, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hv2 := nsga2.Hypervolume2D(resumed.LastGenerations(), ref)
+	fmt.Printf("job 2 done: %d total evaluations across both jobs\n", resumed.TotalEvaluations())
+	fmt.Printf("job 2 frontier: %d points, hypervolume %.6f (Δ %+.2e)\n",
+		len(resumed.ParetoFront()), hv2, hv2-hv1)
+
+	fmt.Println("\nfinal frontier:")
+	for i, ind := range resumed.ParetoFront() {
+		h, _ := hpo.Decode(ind.Genome)
+		fmt.Printf("  %2d energy=%.4f force=%.4f  %s\n", i+1, ind.Fitness[0], ind.Fitness[1], h)
+	}
+}

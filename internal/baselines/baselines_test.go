@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ea"
+)
+
+var sphereEval = ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+	// Bi-objective: distance to 0 and to 1 on the first gene.
+	return ea.Fitness{g[0] * g[0], (g[0] - 1) * (g[0] - 1)}, nil
+})
+
+var unitBounds = ea.Bounds{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}
+
+func TestRandomSearchBudget(t *testing.T) {
+	res, err := RandomSearch(context.Background(), sphereEval, unitBounds, 50, 4, 1)
+	if err != nil {
+		t.Fatalf("RandomSearch: %v", err)
+	}
+	if len(res.Evaluated) != 50 {
+		t.Errorf("evaluated %d, want 50", len(res.Evaluated))
+	}
+	if len(res.Front) == 0 || len(res.Front) > 50 {
+		t.Errorf("front size %d", len(res.Front))
+	}
+	if _, err := RandomSearch(context.Background(), sphereEval, unitBounds, 0, 1, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestGridSearchFullFactorial(t *testing.T) {
+	spec := GridSpec{PointsPerGene: []int{4, 3}}
+	if spec.Size() != 12 {
+		t.Fatalf("Size = %d", spec.Size())
+	}
+	res, err := GridSearch(context.Background(), sphereEval, unitBounds, spec, 4)
+	if err != nil {
+		t.Fatalf("GridSearch: %v", err)
+	}
+	if len(res.Evaluated) != 12 {
+		t.Fatalf("evaluated %d, want 12", len(res.Evaluated))
+	}
+	// Every genome must sit at a cell center.
+	seen := map[[2]float64]bool{}
+	for _, ind := range res.Evaluated {
+		key := [2]float64{ind.Genome[0], ind.Genome[1]}
+		if seen[key] {
+			t.Errorf("duplicate grid point %v", key)
+		}
+		seen[key] = true
+	}
+	// Gene 0 at 4 points: centers 0.125, 0.375, 0.625, 0.875.
+	found := false
+	for k := range seen {
+		if k[0] == 0.125 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected cell-center 0.125 missing")
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	if _, err := GridSearch(context.Background(), sphereEval, unitBounds,
+		GridSpec{PointsPerGene: []int{2}}, 1); err == nil {
+		t.Error("gene-count mismatch accepted")
+	}
+	if _, err := GridSearch(context.Background(), sphereEval, unitBounds,
+		GridSpec{PointsPerGene: []int{2, 0}}, 1); err == nil {
+		t.Error("zero points accepted")
+	}
+}
+
+func TestFailuresCounted(t *testing.T) {
+	flaky := ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+		if g[0] < 0.3 {
+			return nil, errors.New("crash")
+		}
+		return ea.Fitness{g[0], 1 - g[0]}, nil
+	})
+	res, err := GridSearch(context.Background(), flaky, unitBounds, GridSpec{PointsPerGene: []int{10, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 3 { // centers 0.05, 0.15, 0.25 fail
+		t.Errorf("failures = %d, want 3", res.Failures)
+	}
+	for _, ind := range res.Front {
+		if ind.Fitness.IsFailure() {
+			t.Error("failure on front")
+		}
+	}
+}
+
+func TestUniformGrid(t *testing.T) {
+	s := UniformGrid(7, 2)
+	if len(s.PointsPerGene) != 7 || s.Size() != 128 {
+		t.Errorf("UniformGrid wrong: %v size %d", s.PointsPerGene, s.Size())
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkTaskRoundTrip measures one submit→assign→result cycle through
+// the scheduler over loopback TCP.
+func BenchmarkTaskRoundTrip(b *testing.B) {
+	lc, err := NewLocalCluster(1, echoHandler, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	payload := json.RawMessage(`{"genome":[1,2,3,4,5,6,7]}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lc.Client.Submit(context.Background(), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThroughputByWorkers measures the sustained task rate as the
+// worker pool grows, with concurrent submission.
+func BenchmarkThroughputByWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			lc, err := NewLocalCluster(workers, echoHandler, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lc.Close()
+			payload := json.RawMessage(`{"x":1}`)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, 2*workers)
+			for i := 0; i < b.N; i++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					if _, err := lc.Client.Submit(context.Background(), payload); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func BenchmarkMessageFraming(b *testing.B) {
+	m := &message{Type: msgSubmit, TaskID: "0123456789abcdef", Payload: json.RawMessage(`{"genome":[0.1,0.2,0.3,0.4,0.5,0.6,0.7]}`)}
+	var buf discardBuffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeMessage(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardBuffer struct{}
+
+func (discardBuffer) Write(p []byte) (int, error) { return len(p), nil }

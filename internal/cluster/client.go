@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/uuid"
+)
+
+// Client submits tasks to a scheduler and awaits results, like the Dask
+// client running on the Summit batch node (§2.2.5).  It is safe for
+// concurrent use, so an EA evaluation pool can fan out submissions.
+type Client struct {
+	conn    net.Conn
+	mu      sync.Mutex // guards writes and the waiters map
+	waiters map[string]chan *message
+	readErr error
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewClient dials the scheduler.
+func NewClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		waiters: make(map[string]chan *message),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		m, err := readMessage(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.waiters {
+				close(ch)
+				delete(c.waiters, id)
+			}
+			c.mu.Unlock()
+			c.once.Do(func() { close(c.done) })
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[m.TaskID]
+		if ok {
+			delete(c.waiters, m.TaskID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+// Submit sends one task and blocks until its result arrives or the
+// context is cancelled.  Application errors from the worker come back as
+// non-nil error with nil payload.
+func (c *Client) Submit(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+	id := uuid.New().String()
+	ch := make(chan *message, 1)
+
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: connection down: %w", err)
+	}
+	c.waiters[id] = ch
+	err := writeMessage(c.conn, &message{Type: msgSubmit, TaskID: id, Payload: payload})
+	if err != nil {
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	case m, ok := <-ch:
+		if !ok {
+			return nil, errors.New("cluster: connection closed while waiting for result")
+		}
+		if m.Err != "" {
+			return nil, errors.New(m.Err)
+		}
+		return m.Payload, nil
+	}
+}
+
+// SubmitBatch sends all payloads concurrently and waits for every result,
+// preserving order — the fan-out an EA generation performs (eval_pool in
+// the paper's Listing 1).  Each element carries either a payload or an
+// error; a failed submission does not abort the rest.
+func (c *Client) SubmitBatch(ctx context.Context, payloads []json.RawMessage) []BatchResult {
+	out := make([]BatchResult, len(payloads))
+	var wg sync.WaitGroup
+	for i, p := range payloads {
+		wg.Add(1)
+		go func(i int, p json.RawMessage) {
+			defer wg.Done()
+			out[i].Payload, out[i].Err = c.Submit(ctx, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// BatchResult is one SubmitBatch outcome.
+type BatchResult struct {
+	Payload json.RawMessage
+	Err     error
+}
+
+// Close terminates the client connection.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done // wait for readLoop to drain waiters
+	return err
+}

@@ -1,0 +1,478 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ea"
+)
+
+func echoHandler(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+	return payload, nil
+}
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	in := &message{Type: msgSubmit, TaskID: "t1", Payload: json.RawMessage(`{"x":1}`)}
+	if err := writeMessage(&buf, in); err != nil {
+		t.Fatalf("writeMessage: %v", err)
+	}
+	out, err := readMessage(&buf)
+	if err != nil {
+		t.Fatalf("readMessage: %v", err)
+	}
+	if out.Type != in.Type || out.TaskID != in.TaskID || string(out.Payload) != string(in.Payload) {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestMessageFramingRejectsHugeFrame(t *testing.T) {
+	buf := bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	if _, err := readMessage(buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestLocalClusterEcho(t *testing.T) {
+	lc, err := NewLocalCluster(3, echoHandler, 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	for i := 0; i < 10; i++ {
+		payload := json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))
+		out, err := lc.Client.Submit(context.Background(), payload)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if string(out) != string(payload) {
+			t.Errorf("echo %d = %s, want %s", i, out, payload)
+		}
+	}
+	st := lc.Scheduler.Stats()
+	if st.Completed != 10 || st.Submitted != 10 {
+		t.Errorf("stats = %+v, want 10 submitted/completed", st)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	lc, err := NewLocalCluster(4, echoHandler, 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	const n = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))
+			out, err := lc.Client.Submit(context.Background(), payload)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(out) != string(payload) {
+				errs <- fmt.Errorf("mismatch for %d: %s", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestWorkerErrorPropagates(t *testing.T) {
+	handler := func(_ context.Context, _ json.RawMessage) (json.RawMessage, error) {
+		return nil, errors.New("training crashed: bad hyperparameters")
+	}
+	lc, err := NewLocalCluster(1, handler, 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	_, err = lc.Client.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "training crashed") {
+		t.Errorf("Submit error = %v, want training crashed", err)
+	}
+	if st := lc.Scheduler.Stats(); st.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", st.Failed)
+	}
+}
+
+func TestWorkerPanicContained(t *testing.T) {
+	handler := func(_ context.Context, _ json.RawMessage) (json.RawMessage, error) {
+		panic("segfault in custom kernel")
+	}
+	lc, err := NewLocalCluster(1, handler, 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	_, err = lc.Client.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("Submit error = %v, want panic message", err)
+	}
+	// The worker must survive to serve another task.
+	_, err = lc.Client.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("second Submit error = %v", err)
+	}
+}
+
+func TestTaskTimeout(t *testing.T) {
+	handler := func(ctx context.Context, _ json.RawMessage) (json.RawMessage, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return json.RawMessage(`{}`), nil
+		}
+	}
+	lc, err := NewLocalCluster(1, handler, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	start := time.Now()
+	_, err = lc.Client.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil {
+		t.Fatal("timed-out task returned success")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout did not fire promptly")
+	}
+}
+
+func TestWorkerDeathReassignsTask(t *testing.T) {
+	// Worker 0 dies on its first task; worker 1 completes everything.
+	var mu sync.Mutex
+	died := false
+
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	defer sched.Close()
+
+	var killable *Worker
+	killingHandler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		mu.Lock()
+		first := !died
+		died = true
+		mu.Unlock()
+		if first {
+			killable.Close() // simulate node failure mid-task
+			time.Sleep(50 * time.Millisecond)
+		}
+		return payload, nil
+	}
+	killable, err = NewWorker(sched.Addr(), "doomed", killingHandler)
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	go func() { _ = killable.Run(context.Background()) }()
+
+	healthy, err := NewWorker(sched.Addr(), "healthy", echoHandler)
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	defer healthy.Close()
+	go func() { _ = healthy.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 5; i++ {
+		payload := json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))
+		out, err := client.Submit(context.Background(), payload)
+		if err != nil {
+			t.Fatalf("Submit %d after worker death: %v", i, err)
+		}
+		if string(out) != string(payload) {
+			t.Errorf("result %d = %s", i, out)
+		}
+	}
+	if st := sched.Stats(); st.Reassigned == 0 {
+		t.Errorf("no reassignment recorded: %+v", st)
+	}
+}
+
+func TestAllWorkersDeadAbandonsTask(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	sched.MaxAttempts = 2
+	defer sched.Close()
+
+	// A worker that kills itself on every assignment.
+	var workers []*Worker
+	for i := 0; i < 2; i++ {
+		var w *Worker
+		w, err = NewWorker(sched.Addr(), fmt.Sprintf("suicidal-%d", i), func(_ context.Context, _ json.RawMessage) (json.RawMessage, error) {
+			panic("unused")
+		})
+		if err != nil {
+			t.Fatalf("NewWorker: %v", err)
+		}
+		// Close the connection as soon as a task arrives by overriding
+		// Run: we just close immediately after registration and a task
+		// will be assigned to a dead connection, forcing a requeue.
+		workers = append(workers, w)
+	}
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer client.Close()
+
+	// Kill both workers; the scheduler still has their proxies blocked in
+	// the pending receive.  Submitting now assigns to a dead conn, which
+	// requeues and eventually abandons.
+	for _, w := range workers {
+		w.Close()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_, err = client.Submit(ctx, json.RawMessage(`{}`))
+	if err == nil {
+		t.Fatal("Submit succeeded with all workers dead")
+	}
+}
+
+func TestEvaluatorRoundTrip(t *testing.T) {
+	inner := ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+		return ea.Fitness{g[0] * 2, g[1] + 1}, nil
+	})
+	lc, err := NewLocalCluster(2, EvalHandler(inner), 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	ev := &Evaluator{Client: lc.Client}
+	fit, err := ev.Evaluate(context.Background(), ea.Genome{3, 4})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if fit[0] != 6 || fit[1] != 5 {
+		t.Errorf("fitness = %v, want [6 5]", fit)
+	}
+}
+
+func TestEvaluatorWithEvalPool(t *testing.T) {
+	inner := ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+		if g[0] < 0.1 {
+			return nil, errors.New("unstable training")
+		}
+		return ea.Fitness{g[0], 1 - g[0]}, nil
+	})
+	lc, err := NewLocalCluster(3, EvalHandler(inner), 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	defer lc.Close()
+
+	pop := ea.Population{
+		ea.NewIndividual(ea.Genome{0.5}),
+		ea.NewIndividual(ea.Genome{0.05}), // will fail
+		ea.NewIndividual(ea.Genome{0.9}),
+	}
+	out := ea.EvalPool(context.Background(), ea.Source(pop), 3,
+		&Evaluator{Client: lc.Client}, ea.PoolConfig{Parallelism: 3, Objectives: 2})
+	if !out[1].Fitness.IsFailure() {
+		t.Errorf("failed task fitness = %v, want MAXINT", out[1].Fitness)
+	}
+	nine := 0.9
+	if out[0].Fitness[0] != 0.5 || out[2].Fitness[1] != 1-nine {
+		t.Errorf("fitnesses wrong: %v %v", out[0].Fitness, out[2].Fitness)
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	defer sched.Close()
+	if !strings.Contains(sched.String(), "Scheduler{") {
+		t.Errorf("String() = %q", sched.String())
+	}
+}
+
+func TestClientSubmitAfterClose(t *testing.T) {
+	lc, err := NewLocalCluster(1, echoHandler, 0)
+	if err != nil {
+		t.Fatalf("NewLocalCluster: %v", err)
+	}
+	lc.Client.Close()
+	_, err = lc.Client.Submit(context.Background(), json.RawMessage(`{}`))
+	if err == nil {
+		t.Error("Submit after Close succeeded")
+	}
+	lc.Close()
+}
+
+func TestSchedulerTaskTimeoutReassignsFromHungWorker(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	sched.TaskTimeout = 50 * time.Millisecond
+	defer sched.Close()
+
+	// A hung worker: accepts the assignment but never answers (the
+	// connection stays open, unlike a crash).
+	hungConn, err := net.Dial("tcp", sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hungConn.Close()
+	if err := writeMessage(hungConn, &message{Type: msgRegister, Name: "hung"}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Read assignments forever, never reply.
+		for {
+			if _, err := readMessage(hungConn); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Give the hung worker time to be the only one and receive the task.
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := client.Submit(context.Background(), json.RawMessage(`{"x":1}`))
+		resCh <- err
+	}()
+
+	// After the hung worker takes the task, start a healthy worker to
+	// pick up the reassignment.
+	time.Sleep(20 * time.Millisecond)
+	healthy, err := NewWorker(sched.Addr(), "healthy", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	go func() { _ = healthy.Run(context.Background()) }()
+
+	select {
+	case err := <-resCh:
+		if err != nil {
+			t.Fatalf("task not rescued from hung worker: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never completed after worker hang")
+	}
+	if st := sched.Stats(); st.Reassigned == 0 {
+		t.Errorf("no reassignment recorded: %+v", st)
+	}
+}
+
+func TestSubmitBatchOrderAndErrors(t *testing.T) {
+	handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		if strings.Contains(string(payload), "fail") {
+			return nil, errors.New("requested failure")
+		}
+		return payload, nil
+	}
+	lc, err := NewLocalCluster(3, handler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	payloads := []json.RawMessage{
+		json.RawMessage(`{"i":0}`),
+		json.RawMessage(`{"fail":true}`),
+		json.RawMessage(`{"i":2}`),
+		json.RawMessage(`{"i":3}`),
+	}
+	results := lc.Client.SubmitBatch(context.Background(), payloads)
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i := range payloads {
+		if i == 1 {
+			if results[i].Err == nil {
+				t.Error("failing payload succeeded")
+			}
+			continue
+		}
+		if results[i].Err != nil {
+			t.Errorf("result %d: %v", i, results[i].Err)
+		}
+		if string(results[i].Payload) != string(payloads[i]) {
+			t.Errorf("result %d out of order: %s", i, results[i].Payload)
+		}
+	}
+}
+
+func TestMultipleClientsShareWorkers(t *testing.T) {
+	lc, err := NewLocalCluster(2, echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	second, err := NewClient(lc.Scheduler.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 10; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := lc.Client.Submit(context.Background(), json.RawMessage(fmt.Sprintf(`{"a":%d}`, i))); err != nil {
+				errs <- err
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := second.Submit(context.Background(), json.RawMessage(fmt.Sprintf(`{"b":%d}`, i))); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := lc.Scheduler.Stats(); st.Completed != 20 {
+		t.Errorf("completed %d, want 20", st.Completed)
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/ea"
+)
+
+// LocalCluster bundles a scheduler, n workers and a client on the
+// loopback interface — the single-machine analogue of the paper's batch
+// script that launches the Dask scheduler, workers and client on the
+// Summit batch node (§2.2.5).
+type LocalCluster struct {
+	Scheduler *Scheduler
+	Workers   []*Worker
+	Client    *Client
+	cancel    context.CancelFunc
+}
+
+// NewLocalCluster starts everything on 127.0.0.1 with the given handler
+// and per-task timeout (0 = none).
+func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (*LocalCluster, error) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	lc := &LocalCluster{Scheduler: sched, cancel: cancel}
+	for i := 0; i < nWorkers; i++ {
+		w, err := NewWorker(sched.Addr(), fmt.Sprintf("worker-%d", i), handler)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		w.TaskTimeout = taskTimeout
+		lc.Workers = append(lc.Workers, w)
+		go func() { _ = w.Run(ctx) }()
+	}
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Client = client
+	return lc, nil
+}
+
+// Close tears the cluster down.
+func (lc *LocalCluster) Close() {
+	lc.cancel()
+	if lc.Client != nil {
+		lc.Client.Close()
+	}
+	for _, w := range lc.Workers {
+		w.Close()
+	}
+	lc.Scheduler.Close()
+}
+
+// genomeTask is the JSON payload for fitness-evaluation tasks.
+type genomeTask struct {
+	Genome []float64 `json:"genome"`
+}
+
+// fitnessResult is the JSON result payload.
+type fitnessResult struct {
+	Fitness []float64 `json:"fitness"`
+}
+
+// Evaluator adapts a cluster client into an ea.Evaluator: each genome is
+// shipped to the scheduler as a task and the fitness comes back from
+// whichever worker ran it.  Worker-side errors surface as evaluation
+// errors, which the EA converts to MAXINT fitness (§2.2.4).
+type Evaluator struct {
+	Client *Client
+}
+
+// Evaluate implements ea.Evaluator.
+func (ce *Evaluator) Evaluate(ctx context.Context, g ea.Genome) (ea.Fitness, error) {
+	payload, err := json.Marshal(genomeTask{Genome: g})
+	if err != nil {
+		return nil, err
+	}
+	out, err := ce.Client.Submit(ctx, payload)
+	if err != nil {
+		return nil, err
+	}
+	var res fitnessResult
+	if err := json.Unmarshal(out, &res); err != nil {
+		return nil, fmt.Errorf("cluster: bad fitness payload: %w", err)
+	}
+	return ea.Fitness(res.Fitness), nil
+}
+
+// EvalHandler wraps an ea.Evaluator as a worker Handler, so the same
+// fitness code runs locally or behind the scheduler.
+func EvalHandler(ev ea.Evaluator) Handler {
+	return func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		var in genomeTask
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, fmt.Errorf("cluster: bad genome payload: %w", err)
+		}
+		fit, err := ev.Evaluate(ctx, ea.Genome(in.Genome))
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(fitnessResult{Fitness: fit})
+	}
+}

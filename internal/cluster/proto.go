@@ -1,0 +1,74 @@
+// Package cluster is a small distributed task system in the style of the
+// Dask scheduler/worker/client deployment the paper used on Summit
+// (§2.2.5): a client submits fitness-evaluation tasks to a scheduler,
+// which fans them out to workers (one per compute node in the paper);
+// results flow back to the client.  Matching the paper's operational
+// choices, there are no "nannies" — a worker that dies stays dead, and the
+// scheduler reassigns its in-flight tasks to surviving workers.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// msgType enumerates protocol messages.
+type msgType string
+
+const (
+	msgRegister msgType = "register" // worker → scheduler
+	msgSubmit   msgType = "submit"   // client → scheduler
+	msgAssign   msgType = "assign"   // scheduler → worker
+	msgResult   msgType = "result"   // worker → scheduler → client
+)
+
+// message is the wire format: length-prefixed JSON.
+type message struct {
+	Type    msgType         `json:"type"`
+	TaskID  string          `json:"task_id,omitempty"`
+	Name    string          `json:"name,omitempty"` // worker name on register
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Err     string          `json:"err,omitempty"`
+}
+
+// maxFrame bounds a frame to keep a corrupt peer from forcing a huge
+// allocation.
+const maxFrame = 64 << 20
+
+// writeMessage frames and writes one message.
+func writeMessage(w io.Writer, m *message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding message: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// readMessage reads one framed message.
+func readMessage(r io.Reader) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	var m message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: decoding message: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// task is one unit of work tracked by the scheduler.
+type task struct {
+	id       string
+	payload  json.RawMessage
+	attempts int
+	reply    chan *message // delivers the final result to the client proxy
+	mu       sync.Mutex
+	done     bool
+}
+
+// complete delivers a result exactly once; late duplicates (e.g. from a
+// worker that answered after being written off) are dropped.
+func (t *task) complete(m *message) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.done = true
+	t.reply <- m
+	return true
+}
+
+// Stats reports scheduler activity counters.
+type Stats struct {
+	Submitted  int64 // tasks received from clients
+	Completed  int64 // tasks finished successfully
+	Failed     int64 // tasks finished with an application error
+	Reassigned int64 // tasks requeued after a worker died
+	Workers    int64 // workers currently connected
+}
+
+// Scheduler accepts worker and client connections and routes tasks.
+type Scheduler struct {
+	// MaxAttempts bounds how many times a task is reassigned after worker
+	// deaths before being failed outright (default 3).
+	MaxAttempts int
+	// TaskTimeout, if positive, is the scheduler-side limit on one
+	// worker round-trip.  It guards against nodes that hang without
+	// dropping their connection — a hardware failure mode the paper's
+	// §2.2.4 lists — by abandoning the worker proxy and requeueing the
+	// task elsewhere.  Workers normally enforce their own (shorter)
+	// limit; this is the backstop.
+	TaskTimeout time.Duration
+	// Logf, if non-nil, receives diagnostic output.
+	Logf func(format string, args ...interface{})
+
+	ln      net.Listener
+	pending chan *task
+	stats   Stats
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewScheduler creates a scheduler listening on addr (e.g. "127.0.0.1:0").
+func NewScheduler(addr string) (*Scheduler, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		MaxAttempts: 3,
+		ln:          ln,
+		pending:     make(chan *task, 4096),
+		closed:      make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address for clients and workers.
+func (s *Scheduler) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of activity counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Submitted:  atomic.LoadInt64(&s.stats.Submitted),
+		Completed:  atomic.LoadInt64(&s.stats.Completed),
+		Failed:     atomic.LoadInt64(&s.stats.Failed),
+		Reassigned: atomic.LoadInt64(&s.stats.Reassigned),
+		Workers:    atomic.LoadInt64(&s.stats.Workers),
+	}
+}
+
+// Close shuts the scheduler down and waits for connection handlers.
+func (s *Scheduler) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Scheduler) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Scheduler) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("cluster: accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn reads the first message to learn whether the peer is a
+// worker or a client, then runs the corresponding proxy loop.
+func (s *Scheduler) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	first, err := readMessage(conn)
+	if err != nil {
+		return
+	}
+	switch first.Type {
+	case msgRegister:
+		s.runWorkerProxy(conn, first.Name)
+	case msgSubmit:
+		s.runClientProxy(conn, first)
+	default:
+		s.logf("cluster: unexpected first message %q", first.Type)
+	}
+}
+
+// runWorkerProxy pulls pending tasks and round-trips them through one
+// worker connection.  If the worker dies mid-task, the task is requeued —
+// this is the scheduler "reassigning tasks to other workers" after a node
+// failure, with nannies disabled (§2.2.5).
+func (s *Scheduler) runWorkerProxy(conn net.Conn, name string) {
+	atomic.AddInt64(&s.stats.Workers, 1)
+	defer atomic.AddInt64(&s.stats.Workers, -1)
+	s.logf("cluster: worker %q connected", name)
+	for {
+		var t *task
+		select {
+		case <-s.closed:
+			return
+		case t = <-s.pending:
+		}
+		if t.isDone() {
+			continue
+		}
+		if s.TaskTimeout > 0 {
+			deadline := time.Now().Add(s.TaskTimeout)
+			if err := conn.SetDeadline(deadline); err != nil {
+				s.requeue(t)
+				return
+			}
+		}
+		if err := writeMessage(conn, &message{Type: msgAssign, TaskID: t.id, Payload: t.payload}); err != nil {
+			s.requeue(t)
+			return
+		}
+		resp, err := readMessage(conn)
+		if err != nil {
+			// Connection error or deadline expiry: the worker is dead or
+			// hung.  Abandon it (no nanny) and requeue the task.
+			s.requeue(t)
+			return
+		}
+		if resp.Type != msgResult || resp.TaskID != t.id {
+			s.logf("cluster: worker %q protocol violation", name)
+			s.requeue(t)
+			return
+		}
+		if resp.Err != "" {
+			atomic.AddInt64(&s.stats.Failed, 1)
+		} else {
+			atomic.AddInt64(&s.stats.Completed, 1)
+		}
+		t.complete(resp)
+	}
+}
+
+func (t *task) isDone() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// requeue puts a task back on the queue after a worker failure, or fails
+// it permanently once attempts are exhausted.
+func (s *Scheduler) requeue(t *task) {
+	if t.isDone() {
+		return
+	}
+	t.attempts++
+	if t.attempts >= s.MaxAttempts {
+		atomic.AddInt64(&s.stats.Failed, 1)
+		t.complete(&message{Type: msgResult, TaskID: t.id, Err: "cluster: task abandoned after repeated worker failures"})
+		return
+	}
+	atomic.AddInt64(&s.stats.Reassigned, 1)
+	select {
+	case s.pending <- t:
+	case <-s.closed:
+		t.complete(&message{Type: msgResult, TaskID: t.id, Err: "cluster: scheduler shut down"})
+	}
+}
+
+// runClientProxy accepts submissions from one client connection and
+// returns results as they complete.  Results may arrive out of submission
+// order; the TaskID correlates them.
+func (s *Scheduler) runClientProxy(conn net.Conn, first *message) {
+	results := make(chan *message, 1024)
+	clientDone := make(chan struct{})
+	var writerWG sync.WaitGroup
+	defer func() {
+		close(clientDone)
+		writerWG.Wait()
+	}()
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case m := <-results:
+				if err := writeMessage(conn, m); err != nil {
+					return
+				}
+			case <-clientDone:
+				return
+			}
+		}
+	}()
+
+	submit := func(m *message) error {
+		t := &task{id: m.TaskID, payload: m.Payload, reply: make(chan *message, 1)}
+		atomic.AddInt64(&s.stats.Submitted, 1)
+		select {
+		case s.pending <- t:
+		case <-s.closed:
+			return errors.New("scheduler closed")
+		}
+		go func() {
+			r := <-t.reply
+			select {
+			case results <- r:
+			case <-clientDone:
+			case <-s.closed:
+			}
+		}()
+		return nil
+	}
+
+	if err := submit(first); err != nil {
+		return
+	}
+	for {
+		m, err := readMessage(conn)
+		if err != nil {
+			return
+		}
+		if m.Type != msgSubmit {
+			s.logf("cluster: client protocol violation: %q", m.Type)
+			return
+		}
+		if err := submit(m); err != nil {
+			return
+		}
+	}
+}
+
+// ensure log is referenced for default diagnostics wiring.
+var _ = log.Printf
+
+// String describes the scheduler state for diagnostics.
+func (s *Scheduler) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("Scheduler{addr=%s workers=%d submitted=%d completed=%d failed=%d reassigned=%d}",
+		s.Addr(), st.Workers, st.Submitted, st.Completed, st.Failed, st.Reassigned)
+}

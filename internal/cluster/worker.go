@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler executes one task payload and returns a result payload.  In the
+// paper's deployment this is the multi-step DeePMD training workflow of
+// §2.2.4 (decode genome → write input.json in a UUID directory → train →
+// read lcurve.out).
+type Handler func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error)
+
+// Worker connects to a scheduler, executes assigned tasks, and returns
+// results.  There is intentionally no supervision/restart: the paper found
+// it best to "disable nannies, let workers fail, and have the scheduler
+// reassign tasks" (§2.2.5).
+type Worker struct {
+	// Name identifies the worker in scheduler logs.
+	Name string
+	// TaskTimeout, if positive, bounds each task's execution — the
+	// analogue of the paper's two-hour training limit.  An expired task
+	// returns a TimeoutError-like failure result rather than killing the
+	// worker.
+	TaskTimeout time.Duration
+	// Handler executes tasks.
+	Handler Handler
+
+	conn net.Conn
+	once sync.Once
+}
+
+// NewWorker dials the scheduler and registers.
+func NewWorker(addr, name string, handler Handler) (*Worker, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("cluster: worker needs a handler")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{Name: name, Handler: handler, conn: conn}
+	if err := writeMessage(conn, &message{Type: msgRegister, Name: name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Run processes tasks until the context is cancelled or the scheduler
+// connection drops.  It returns the terminating error (nil on clean
+// context cancellation).
+func (w *Worker) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		w.Close()
+	}()
+	for {
+		m, err := readMessage(w.conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if m.Type != msgAssign {
+			return fmt.Errorf("cluster: worker got unexpected message %q", m.Type)
+		}
+		result := w.execute(ctx, m)
+		if err := writeMessage(w.conn, result); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// execute runs one task with timeout and panic containment.
+func (w *Worker) execute(ctx context.Context, m *message) *message {
+	taskCtx := ctx
+	var cancel context.CancelFunc
+	if w.TaskTimeout > 0 {
+		taskCtx, cancel = context.WithTimeout(ctx, w.TaskTimeout)
+		defer cancel()
+	}
+	payload, err := safeHandle(taskCtx, w.Handler, m.Payload)
+	if err == nil && taskCtx.Err() != nil {
+		err = fmt.Errorf("cluster: task timed out: %v", taskCtx.Err())
+	}
+	out := &message{Type: msgResult, TaskID: m.TaskID}
+	if err != nil {
+		out.Err = err.Error()
+	} else {
+		out.Payload = payload
+	}
+	return out
+}
+
+func safeHandle(ctx context.Context, h Handler, payload json.RawMessage) (out json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("cluster: task panic: %v", r)
+		}
+	}()
+	return h(ctx, payload)
+}
+
+// Close terminates the worker's scheduler connection.
+func (w *Worker) Close() error {
+	var err error
+	w.once.Do(func() { err = w.conn.Close() })
+	return err
+}

@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/md"
+)
+
+func tinyDataset(t *testing.T, nFrames int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	species := []md.Species{md.Al, md.Cl, md.Cl, md.Cl, md.K, md.Cl}
+	pot := md.NewPaperBMH(4.0)
+	return Generate(rng, species, 8.0, 498, pot, 0.5, 50, 5, nFrames)
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d := tinyDataset(t, 8)
+	if d.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", d.Len())
+	}
+	if d.NAtoms() != 6 {
+		t.Fatalf("NAtoms = %d, want 6", d.NAtoms())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i, f := range d.Frames {
+		if f.Box != 8.0 {
+			t.Errorf("frame %d box = %v", i, f.Box)
+		}
+		if f.Energy == 0 {
+			t.Errorf("frame %d has zero energy", i)
+		}
+	}
+}
+
+func TestFramesDiffer(t *testing.T) {
+	d := tinyDataset(t, 3)
+	if d.Frames[0].Coord[0] == d.Frames[1].Coord[0] && d.Frames[0].Coord[1] == d.Frames[1].Coord[1] {
+		t.Error("consecutive frames identical: trajectory not advancing")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	d1 := tinyDataset(t, 10)
+	d2 := tinyDataset(t, 10)
+	d1.Shuffle(rand.New(rand.NewSource(42)))
+	d2.Shuffle(rand.New(rand.NewSource(42)))
+	for i := range d1.Frames {
+		if d1.Frames[i].Energy != d2.Frames[i].Energy {
+			t.Fatal("shuffle with same seed not deterministic")
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	d := tinyDataset(t, 20)
+	train, val := d.Split(0.25)
+	if train.Len() != 15 || val.Len() != 5 {
+		t.Errorf("split sizes = %d/%d, want 15/5", train.Len(), val.Len())
+	}
+	if d.Len() != 20 {
+		t.Error("Split modified the receiver")
+	}
+	// Edge cases.
+	tr, v := d.Split(0)
+	if tr.Len() != 20 || v.Len() != 0 {
+		t.Error("Split(0) wrong")
+	}
+	tr, v = d.Split(1)
+	if tr.Len() != 0 || v.Len() != 20 {
+		t.Error("Split(1) wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := tinyDataset(t, 6)
+	dir := filepath.Join(t.TempDir(), "alkcl")
+	if err := d.Save(dir, 0); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Len() != d.Len() || got.NAtoms() != d.NAtoms() {
+		t.Fatalf("round trip sizes: %d/%d atoms %d/%d", got.Len(), d.Len(), got.NAtoms(), d.NAtoms())
+	}
+	for i := range d.Types {
+		if got.Types[i] != d.Types[i] {
+			t.Errorf("Types[%d] = %d, want %d", i, got.Types[i], d.Types[i])
+		}
+	}
+	for i, f := range d.Frames {
+		g := got.Frames[i]
+		if g.Energy != f.Energy || g.Box != f.Box {
+			t.Errorf("frame %d scalar mismatch", i)
+		}
+		for k := range f.Coord {
+			if g.Coord[k] != f.Coord[k] || g.Force[k] != f.Force[k] {
+				t.Fatalf("frame %d array mismatch at %d", i, k)
+			}
+		}
+	}
+}
+
+func TestSaveMultipleSets(t *testing.T) {
+	d := tinyDataset(t, 10)
+	dir := filepath.Join(t.TempDir(), "multiset")
+	if err := d.Save(dir, 4); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	for _, set := range []string{"set.000", "set.001", "set.002"} {
+		if _, err := os.Stat(filepath.Join(dir, set, "coord.npy")); err != nil {
+			t.Errorf("missing %s: %v", set, err)
+		}
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Len() != 10 {
+		t.Errorf("loaded %d frames, want 10", got.Len())
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("Load of missing dir succeeded")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := tinyDataset(t, 2)
+	d.Frames[1].Coord = d.Frames[1].Coord[:3]
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted truncated coords")
+	}
+	d = tinyDataset(t, 2)
+	d.Frames[0].Box = -1
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted negative box")
+	}
+	empty := &Dataset{}
+	if err := empty.Validate(); err == nil {
+		t.Error("Validate accepted empty types")
+	}
+}
+
+func TestFrameFromSystemConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := md.NewSystem(rng, []md.Species{md.K, md.Cl}, 6.0, 300)
+	pot := md.NewPaperBMH(3.0)
+	pot.Compute(sys)
+	f := FrameFromSystem(sys)
+	if math.Abs(f.Energy-sys.PotEng) > 1e-15 {
+		t.Error("energy not copied")
+	}
+	if f.Coord[3] != sys.Pos[1][0] || f.Force[5] != sys.Frc[1][2] {
+		t.Error("layout not atom-major xyz")
+	}
+}
+
+func TestSplitAfterShuffleDisjointCoverage(t *testing.T) {
+	d := tinyDataset(t, 12)
+	// Tag frames by energy (unique with overwhelming probability).
+	seen := map[float64]int{}
+	for _, f := range d.Frames {
+		seen[f.Energy]++
+	}
+	d.Shuffle(rand.New(rand.NewSource(9)))
+	train, val := d.Split(0.25)
+	got := map[float64]int{}
+	for _, f := range train.Frames {
+		got[f.Energy]++
+	}
+	for _, f := range val.Frames {
+		got[f.Energy]++
+	}
+	if len(got) != len(seen) {
+		t.Error("shuffle+split lost or duplicated frames")
+	}
+}

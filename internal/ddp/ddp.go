@@ -1,0 +1,136 @@
+// Package ddp simulates Horovod-style distributed data-parallel training
+// (§2.1.2): several workers each compute gradients on their own shard of a
+// minibatch, the gradients are combined with a ring allreduce, and every
+// worker applies the same averaged update.  The paper's scale_by_worker
+// gene controls how the learning rate is scaled by the worker count in
+// this regime; nn.WorkerScale implements the schemes.
+package ddp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AllReduceMean averages the gradient buffers of all workers in place:
+// after the call every buffer holds the elementwise mean.  The reduction
+// is organized as a ring — each worker owns a contiguous chunk, reduces it
+// across peers, then broadcasts — matching how Horovod moves data, though
+// here peers are goroutines rather than GPUs.
+func AllReduceMean(buffers [][]float64) error {
+	if len(buffers) == 0 {
+		return nil
+	}
+	n := len(buffers[0])
+	for i, b := range buffers {
+		if len(b) != n {
+			return fmt.Errorf("ddp: buffer %d length %d != %d", i, len(b), n)
+		}
+	}
+	w := len(buffers)
+	if w == 1 {
+		return nil
+	}
+
+	// Chunk boundaries: worker k owns [starts[k], starts[k+1]).
+	starts := make([]int, w+1)
+	for k := 0; k <= w; k++ {
+		starts[k] = k * n / w
+	}
+
+	var wg sync.WaitGroup
+	// Reduce-scatter: worker k sums chunk k from all peers into its own
+	// buffer.
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			lo, hi := starts[k], starts[k+1]
+			own := buffers[k]
+			for p := 0; p < w; p++ {
+				if p == k {
+					continue
+				}
+				peer := buffers[p]
+				for i := lo; i < hi; i++ {
+					own[i] += peer[i]
+				}
+			}
+			inv := 1 / float64(w)
+			for i := lo; i < hi; i++ {
+				own[i] *= inv
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	// Allgather: every worker copies each owner's reduced chunk.
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for owner := 0; owner < w; owner++ {
+				if owner == k {
+					continue
+				}
+				lo, hi := starts[owner], starts[owner+1]
+				copy(buffers[k][lo:hi], buffers[owner][lo:hi])
+			}
+		}(k)
+	}
+	wg.Wait()
+	return nil
+}
+
+// ShardIndices partitions frame indices [0, total) round-robin across
+// nWorkers, returning worker w's shard.  Round-robin keeps shards balanced
+// for any total.
+func ShardIndices(total, nWorkers, w int) []int {
+	if nWorkers <= 0 || w < 0 || w >= nWorkers {
+		return nil
+	}
+	var out []int
+	for i := w; i < total; i += nWorkers {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Group coordinates a fixed set of data-parallel workers.  Each training
+// step, every worker contributes a gradient vector; Step averages them and
+// hands the mean to the apply function once.  This mirrors the paper's
+// 6-GPU-per-node Horovod layout where each GPU trains on a data shard.
+type Group struct {
+	NWorkers int
+	flat     [][]float64
+}
+
+// NewGroup creates a worker group.
+func NewGroup(nWorkers int) *Group {
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	return &Group{NWorkers: nWorkers}
+}
+
+// Step runs compute(w) on every worker concurrently to produce per-worker
+// gradient vectors, allreduces them to the mean, and calls apply with the
+// result.
+func (g *Group) Step(compute func(w int) []float64, apply func(mean []float64)) error {
+	if g.flat == nil {
+		g.flat = make([][]float64, g.NWorkers)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < g.NWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.flat[w] = compute(w)
+		}(w)
+	}
+	wg.Wait()
+	if err := AllReduceMean(g.flat); err != nil {
+		return err
+	}
+	apply(g.flat[0])
+	return nil
+}

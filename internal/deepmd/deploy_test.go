@@ -1,0 +1,199 @@
+package deepmd
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/md"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewModel(rng, tinyModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Bias = []float64{-1.5, -2.0, -0.5}
+	d := tinyData(t, 1)
+	fr := &d.Frames[0]
+	eWant, fWant := m.EnergyForces(fr.Coord, d.Types, fr.Box)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	eGot, fGot := got.EnergyForces(fr.Coord, d.Types, fr.Box)
+	if eGot != eWant {
+		t.Errorf("energy after round trip: %v != %v", eGot, eWant)
+	}
+	for k := range fWant {
+		if fGot[k] != fWant[k] {
+			t.Fatalf("force[%d] after round trip: %v != %v", k, fGot[k], fWant[k])
+		}
+	}
+	if got.Cfg.FittingActivation.Name() != m.Cfg.FittingActivation.Name() {
+		t.Error("fitting activation lost")
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, _ := NewModel(rng, tinyModelConfig())
+	path := filepath.Join(t.TempDir(), "frozen.model")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatalf("LoadModelFile: %v", err)
+	}
+	if got.ParamCount() != m.ParamCount() {
+		t.Errorf("param count %d != %d", got.ParamCount(), m.ParamCount())
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A valid gob of the wrong format string.
+	var buf bytes.Buffer
+	m, _ := NewModel(rand.New(rand.NewSource(3)), tinyModelConfig())
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the format marker bytes.
+	idx := bytes.Index(raw, []byte(modelFormat))
+	if idx < 0 {
+		t.Fatal("format marker not found in encoding")
+	}
+	raw[idx] = 'X'
+	if _, err := LoadModel(bytes.NewReader(raw)); err == nil {
+		t.Error("wrong-format model accepted")
+	}
+}
+
+func TestMDPotentialMatchesEnergyForces(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := NewModel(rng, tinyModelConfig())
+	species := []md.Species{md.Al, md.Cl, md.Cl, md.Cl, md.K, md.Cl}
+	sys := md.NewSystem(rng, species, 7.0, 498)
+
+	pot := NewMDPotential(m)
+	if pot.Cutoff() != m.Cfg.Descriptor.RCut {
+		t.Errorf("Cutoff = %v", pot.Cutoff())
+	}
+	pot.Compute(sys)
+
+	coord := make([]float64, 3*sys.N())
+	types := make([]int, sys.N())
+	for i := 0; i < sys.N(); i++ {
+		types[i] = int(sys.Species[i])
+		for k := 0; k < 3; k++ {
+			coord[3*i+k] = sys.Pos[i][k]
+		}
+	}
+	eWant, fWant := m.EnergyForces(coord, types, sys.Box)
+	if math.Abs(sys.PotEng-eWant) > 1e-12 {
+		t.Errorf("PotEng %v != %v", sys.PotEng, eWant)
+	}
+	for i := 0; i < sys.N(); i++ {
+		for k := 0; k < 3; k++ {
+			if sys.Frc[i][k] != fWant[3*i+k] {
+				t.Fatalf("force mismatch at %d,%d", i, k)
+			}
+		}
+	}
+}
+
+func TestMDWithNNPotentialConservesEnergy(t *testing.T) {
+	// The learned potential is smooth and its forces are exact gradients,
+	// so NVE dynamics under it must conserve energy — this is the whole
+	// point of the DeepPot-SE smooth edition (§1) and validates the
+	// descriptor/fitting gradients in a dynamical setting.
+	rng := rand.New(rand.NewSource(5))
+	m, _ := NewModel(rng, tinyModelConfig())
+	species := []md.Species{md.Al, md.Cl, md.Cl, md.Cl, md.K, md.Cl}
+	sys := md.NewSystem(rng, species, 7.0, 150)
+	pot := NewMDPotential(m)
+
+	it := md.NewIntegrator(pot, nil, 0.25)
+	pot.Compute(sys)
+	e0 := md.TotalEnergy(sys)
+	var maxDrift float64
+	it.Run(sys, 200, 20, func(step int) {
+		d := math.Abs(md.TotalEnergy(sys) - e0)
+		if d > maxDrift {
+			maxDrift = d
+		}
+	})
+	scale := math.Abs(e0) + sys.KineticEnergy() + 1
+	if maxDrift/scale > 0.05 {
+		t.Errorf("NN-potential NVE drift %v (scale %v)", maxDrift, scale)
+	}
+}
+
+func TestMDPotentialNewtonThirdLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, _ := NewModel(rng, tinyModelConfig())
+	species := []md.Species{md.Al, md.Cl, md.Cl, md.Cl, md.K, md.Cl}
+	sys := md.NewSystem(rng, species, 7.0, 300)
+	pot := NewMDPotential(m)
+	pot.Compute(sys)
+	var sum md.Vec3
+	for _, f := range sys.Frc {
+		sum = sum.Add(f)
+	}
+	if sum.Norm() > 1e-8 {
+		t.Errorf("net force %v under NN potential (translation invariance broken)", sum.Norm())
+	}
+}
+
+func TestTrainingResumesFromFrozenModel(t *testing.T) {
+	// The paper's two-hour limit kills long trainings; DeePMD checkpoints
+	// and restarts.  Freeze after a first leg, reload in a "new process",
+	// continue training: losses must keep improving from where they were
+	// (Adam moments are not persisted, so exact-match with an unbroken run
+	// is not expected).
+	rng := rand.New(rand.NewSource(40))
+	m, _ := NewModel(rng, tinyModelConfig())
+	d := tinyData(t, 16)
+	d.Shuffle(rand.New(rand.NewSource(41)))
+	train, val := d.Split(0.25)
+
+	cfg := TrainConfig{
+		Steps: 120, BatchSize: 2, StartLR: 0.005, StopLR: 1e-4,
+		ScaleByWorker: "none", Workers: 1, DispFreq: 60, Seed: 42,
+	}
+	res1, err := Train(context.Background(), m, train, val, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 43
+	cfg.StartLR = 0.002 // continue near where the schedule left off
+	res2, err := Train(context.Background(), resumed, train, val, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FinalForceRMSE > res1.FinalForceRMSE*1.3 {
+		t.Errorf("resumed training regressed: %v -> %v", res1.FinalForceRMSE, res2.FinalForceRMSE)
+	}
+}

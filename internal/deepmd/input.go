@@ -1,0 +1,184 @@
+package deepmd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/descriptor"
+	"repro/internal/nn"
+)
+
+// Input mirrors the subset of DeePMD-kit's input.json that the paper's
+// workflow generates by template substitution (§2.2.4 item 3).  Field
+// names match the DeePMD configuration keys.
+type Input struct {
+	Model        InputModel    `json:"model"`
+	LearningRate InputLR       `json:"learning_rate"`
+	Loss         InputLoss     `json:"loss"`
+	Training     InputTraining `json:"training"`
+}
+
+// InputModel is the "model" section.
+type InputModel struct {
+	TypeMap    []string        `json:"type_map"`
+	Descriptor InputDescriptor `json:"descriptor"`
+	FittingNet InputFitting    `json:"fitting_net"`
+}
+
+// InputDescriptor is the "model.descriptor" section.
+type InputDescriptor struct {
+	Type               string    `json:"type"` // "se_e2_a"
+	RCut               float64   `json:"rcut"`
+	RCutSmth           float64   `json:"rcut_smth"`
+	Neuron             []int     `json:"neuron"`
+	AxisNeuron         int       `json:"axis_neuron"`
+	ActivationFunction string    `json:"activation_function"`
+	Sel                []float64 `json:"sel,omitempty"`
+}
+
+// InputFitting is the "model.fitting_net" section.
+type InputFitting struct {
+	Neuron             []int  `json:"neuron"`
+	ActivationFunction string `json:"activation_function"`
+}
+
+// InputLR is the "learning_rate" section plus the worker-scaling scheme
+// the paper tunes.
+type InputLR struct {
+	Type          string  `json:"type"` // "exp"
+	StartLR       float64 `json:"start_lr"`
+	StopLR        float64 `json:"stop_lr"`
+	ScaleByWorker string  `json:"scale_by_worker"`
+}
+
+// InputLoss is the "loss" section.
+type InputLoss struct {
+	StartPrefE float64 `json:"start_pref_e"`
+	LimitPrefE float64 `json:"limit_pref_e"`
+	StartPrefF float64 `json:"start_pref_f"`
+	LimitPrefF float64 `json:"limit_pref_f"`
+}
+
+// InputTraining is the "training" section.
+type InputTraining struct {
+	NumbSteps      int      `json:"numb_steps"`
+	BatchSize      int      `json:"batch_size"`
+	Seed           int64    `json:"seed"`
+	DispFreq       int      `json:"disp_freq"`
+	Systems        []string `json:"systems"`
+	ValidationData struct {
+		Systems []string `json:"systems"`
+	} `json:"validation_data"`
+}
+
+// ParseInput decodes an input.json stream.
+func ParseInput(r io.Reader) (*Input, error) {
+	dec := json.NewDecoder(r)
+	var in Input
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("deepmd: parsing input.json: %w", err)
+	}
+	return &in, nil
+}
+
+// ParseInputFile decodes input.json from disk.
+func ParseInputFile(path string) (*Input, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseInput(f)
+}
+
+// Validate checks ranges and names.
+func (in *Input) Validate() error {
+	d := in.Model.Descriptor
+	if d.RCut <= 0 || d.RCutSmth < 0 || d.RCutSmth >= d.RCut {
+		return fmt.Errorf("deepmd: invalid cutoffs rcut=%g rcut_smth=%g", d.RCut, d.RCutSmth)
+	}
+	if len(d.Neuron) == 0 || len(in.Model.FittingNet.Neuron) == 0 {
+		return fmt.Errorf("deepmd: empty network sizes")
+	}
+	if _, err := nn.ActivationByName(d.ActivationFunction); err != nil {
+		return err
+	}
+	if _, err := nn.ActivationByName(in.Model.FittingNet.ActivationFunction); err != nil {
+		return err
+	}
+	lr := in.LearningRate
+	if lr.StartLR <= 0 || lr.StopLR <= 0 || lr.StopLR > lr.StartLR {
+		return fmt.Errorf("deepmd: invalid learning rates start=%g stop=%g", lr.StartLR, lr.StopLR)
+	}
+	switch lr.ScaleByWorker {
+	case "linear", "sqrt", "none", "":
+	default:
+		return fmt.Errorf("deepmd: unknown scale_by_worker %q", lr.ScaleByWorker)
+	}
+	if in.Training.NumbSteps <= 0 {
+		return fmt.Errorf("deepmd: numb_steps must be positive")
+	}
+	if len(in.Model.TypeMap) == 0 {
+		return fmt.Errorf("deepmd: empty type_map")
+	}
+	return nil
+}
+
+// ModelConfig converts the parsed input into a ModelConfig.
+func (in *Input) ModelConfig() (ModelConfig, error) {
+	descAct, err := nn.ActivationByName(in.Model.Descriptor.ActivationFunction)
+	if err != nil {
+		return ModelConfig{}, err
+	}
+	fitAct, err := nn.ActivationByName(in.Model.FittingNet.ActivationFunction)
+	if err != nil {
+		return ModelConfig{}, err
+	}
+	axis := in.Model.Descriptor.AxisNeuron
+	if axis <= 0 {
+		axis = 4
+	}
+	nsp := len(in.Model.TypeMap)
+	return ModelConfig{
+		Descriptor: descriptor.Config{
+			RCut:           in.Model.Descriptor.RCut,
+			RCutSmth:       in.Model.Descriptor.RCutSmth,
+			EmbeddingSizes: in.Model.Descriptor.Neuron,
+			AxisNeurons:    axis,
+			Activation:     descAct,
+			NumSpecies:     nsp,
+		},
+		FittingSizes:      in.Model.FittingNet.Neuron,
+		FittingActivation: fitAct,
+		NumSpecies:        nsp,
+	}, nil
+}
+
+// TrainConfig converts the parsed input into a TrainConfig with the given
+// simulated worker count (6 GPUs per node in the paper).
+func (in *Input) TrainConfig(workers int) TrainConfig {
+	batch := in.Training.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	scheme := in.LearningRate.ScaleByWorker
+	if scheme == "" {
+		scheme = "linear" // DeePMD's distributed default (§2.2.1)
+	}
+	return TrainConfig{
+		Steps:         in.Training.NumbSteps,
+		BatchSize:     batch,
+		StartLR:       in.LearningRate.StartLR,
+		StopLR:        in.LearningRate.StopLR,
+		ScaleByWorker: scheme,
+		Workers:       workers,
+		Prefactors: LossPrefactors{
+			StartPrefE: in.Loss.StartPrefE, LimitPrefE: in.Loss.LimitPrefE,
+			StartPrefF: in.Loss.StartPrefF, LimitPrefF: in.Loss.LimitPrefF,
+		},
+		DispFreq: in.Training.DispFreq,
+		Seed:     in.Training.Seed,
+	}
+}

@@ -1,0 +1,106 @@
+package deepmd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// lcurve.out column layout, following DeePMD-kit v2's file: a commented
+// header naming the columns, then whitespace-separated numeric rows.  The
+// paper's fitness extraction reads "the last values of the rmse_e_val and
+// rmse_f_val columns" (§2.2.4), so the reader resolves columns by name.
+const lcurveHeader = "#  step      rmse_e_val    rmse_e_trn    rmse_f_val    rmse_f_trn         lr"
+
+func writeHeader(w io.Writer) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintln(w, lcurveHeader)
+}
+
+func writeRecord(w io.Writer, r LCurveRecord) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "%8d    %10.4e    %10.4e    %10.4e    %10.4e    %8.2e\n",
+		r.Step, r.RmseEVal, r.RmseETrn, r.RmseFVal, r.RmseFTrn, r.LR)
+}
+
+// ReadLCurve parses an lcurve.out stream into records, resolving columns
+// from the header.
+func ReadLCurve(r io.Reader) ([]LCurveRecord, error) {
+	sc := bufio.NewScanner(r)
+	var cols []string
+	var recs []LCurveRecord
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			cols = strings.Fields(strings.TrimPrefix(line, "#"))
+			continue
+		}
+		fields := strings.Fields(line)
+		if cols == nil {
+			return nil, fmt.Errorf("deepmd: lcurve data before header")
+		}
+		if len(fields) != len(cols) {
+			return nil, fmt.Errorf("deepmd: lcurve row has %d fields, header has %d", len(fields), len(cols))
+		}
+		var rec LCurveRecord
+		for i, c := range cols {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("deepmd: bad lcurve value %q: %w", fields[i], err)
+			}
+			switch c {
+			case "step":
+				rec.Step = int(v)
+			case "rmse_e_val":
+				rec.RmseEVal = v
+			case "rmse_e_trn":
+				rec.RmseETrn = v
+			case "rmse_f_val":
+				rec.RmseFVal = v
+			case "rmse_f_trn":
+				rec.RmseFTrn = v
+			case "lr":
+				rec.LR = v
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ReadLCurveFile reads lcurve.out from disk.
+func ReadLCurveFile(path string) ([]LCurveRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLCurve(f)
+}
+
+// FinalLosses returns the last rmse_e_val and rmse_f_val of an lcurve.out
+// file — the exact fitness-extraction step of §2.2.4 item 4c.
+func FinalLosses(path string) (rmseEVal, rmseFVal float64, err error) {
+	recs, err := ReadLCurveFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(recs) == 0 {
+		return 0, 0, fmt.Errorf("deepmd: %s has no data rows", path)
+	}
+	last := recs[len(recs)-1]
+	return last.RmseEVal, last.RmseFVal, nil
+}

@@ -1,0 +1,76 @@
+package deepmd
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// LossPrefactors holds the DeePMD loss weighting.  The training loss per
+// frame is
+//
+//	L(t) = p_e(t)·(ΔE/N)² + p_f(t)/(3N)·Σ‖ΔF‖²
+//
+// where each prefactor interpolates between its start and limit value with
+// the decaying learning rate: p(t) = limit + (start − limit)·lr(t)/lr(0).
+// The paper fixes start/limit to (0.02, 1) for energy and (1000, 1) for
+// force (§2.1.2), so training initially minimizes force error and
+// gradually shifts weight onto the energy error (§2.2.1).
+type LossPrefactors struct {
+	StartPrefE, LimitPrefE float64
+	StartPrefF, LimitPrefF float64
+}
+
+// PaperPrefactors returns the fixed prefactors of §2.1.2.
+func PaperPrefactors() LossPrefactors {
+	return LossPrefactors{StartPrefE: 0.02, LimitPrefE: 1, StartPrefF: 1000, LimitPrefF: 1}
+}
+
+// At returns (p_e, p_f) for learning-rate ratio lrRatio = lr(t)/lr(0).
+func (p LossPrefactors) At(lrRatio float64) (pe, pf float64) {
+	pe = p.LimitPrefE + (p.StartPrefE-p.LimitPrefE)*lrRatio
+	pf = p.LimitPrefF + (p.StartPrefF-p.LimitPrefF)*lrRatio
+	return pe, pf
+}
+
+// FrameErrors returns the per-atom energy error ΔE/N and the force
+// component RMSE for a single frame prediction.
+func FrameErrors(f *dataset.Frame, ePred float64, fPred []float64) (ePerAtom, fRMSE float64) {
+	n := len(f.Coord) / 3
+	ePerAtom = (ePred - f.Energy) / float64(n)
+	s := 0.0
+	for k := range fPred {
+		d := fPred[k] - f.Force[k]
+		s += d * d
+	}
+	fRMSE = math.Sqrt(s / float64(len(fPred)))
+	return ePerAtom, fRMSE
+}
+
+// EvalErrors computes the dataset-level RMSEs DeePMD reports in
+// lcurve.out: rmse_e is the RMS of per-atom energy errors over frames,
+// rmse_f the RMS over all force components — the two quantities the EA
+// minimizes (§2.2.4).  frames limits how many frames are evaluated (0 =
+// all).
+func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64) {
+	if frames <= 0 || frames > d.Len() {
+		frames = d.Len()
+	}
+	if frames == 0 {
+		return 0, 0
+	}
+	var se, sf float64
+	var nf int
+	for i := 0; i < frames; i++ {
+		fr := &d.Frames[i]
+		e, f := m.EnergyForces(fr.Coord, d.Types, fr.Box)
+		de, _ := FrameErrors(fr, e, f)
+		se += de * de
+		for k := range f {
+			diff := f[k] - fr.Force[k]
+			sf += diff * diff
+			nf++
+		}
+	}
+	return math.Sqrt(se / float64(frames)), math.Sqrt(sf / float64(nf))
+}

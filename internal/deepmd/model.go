@@ -1,0 +1,174 @@
+// Package deepmd reimplements the DeePMD-kit training pipeline the paper
+// tunes (§1, §2.1.2): a DeepPot-SE descriptor feeding per-species fitting
+// networks whose summed atomic energies give the total energy, with forces
+// obtained as the exact negative gradient of the predicted energy with
+// respect to coordinates.  Training minimizes the DeePMD weighted
+// energy+force loss with learning-rate-coupled prefactors, supports the
+// three worker learning-rate scaling schemes, and emits an `lcurve.out`
+// whose last rmse_e_val / rmse_f_val values are the EA's two fitness
+// objectives (§2.2.4).
+package deepmd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/descriptor"
+	"repro/internal/nn"
+)
+
+// ModelConfig describes a Deep Potential model.
+type ModelConfig struct {
+	// Descriptor is the DeepPot-SE configuration (rcut, rcut_smth,
+	// embedding {25,50,100}, descriptor activation).
+	Descriptor descriptor.Config
+	// FittingSizes are the fitting-network hidden sizes; the paper fixes
+	// {240, 240, 240}.
+	FittingSizes []int
+	// FittingActivation is the fitting-network activation (gene
+	// fitting_activ_func).
+	FittingActivation nn.Activation
+	// NumSpecies is the number of atom types (3: Al, K, Cl).
+	NumSpecies int
+}
+
+// Validate checks the configuration.
+func (c *ModelConfig) Validate() error {
+	if err := c.Descriptor.Validate(); err != nil {
+		return err
+	}
+	if len(c.FittingSizes) == 0 {
+		return fmt.Errorf("deepmd: FittingSizes empty")
+	}
+	if c.NumSpecies <= 0 || c.NumSpecies != c.Descriptor.NumSpecies {
+		return fmt.Errorf("deepmd: NumSpecies %d inconsistent with descriptor %d",
+			c.NumSpecies, c.Descriptor.NumSpecies)
+	}
+	if c.FittingActivation == nil {
+		return fmt.Errorf("deepmd: FittingActivation required")
+	}
+	return nil
+}
+
+// Model is a trained or trainable Deep Potential.
+type Model struct {
+	Cfg  ModelConfig
+	Desc *descriptor.Descriptor
+	// Fit[t] maps the descriptor of an atom of species t to its atomic
+	// energy contribution.
+	Fit []*nn.MLP
+	// Bias[t] is a constant atomic-energy offset per species, initialized
+	// from the training-set mean so the networks only learn residuals.
+	Bias []float64
+}
+
+// NewModel builds a model with randomly initialized networks.
+func NewModel(rng *rand.Rand, cfg ModelConfig) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	desc, err := descriptor.New(rng, cfg.Descriptor)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Cfg: cfg, Desc: desc, Bias: make([]float64, cfg.NumSpecies)}
+	for t := 0; t < cfg.NumSpecies; t++ {
+		m.Fit = append(m.Fit, nn.NewMLP(rng, cfg.Descriptor.OutDim(), cfg.FittingSizes, 1, cfg.FittingActivation))
+	}
+	return m, nil
+}
+
+// Energy returns the predicted total energy of a configuration.
+func (m *Model) Energy(coord []float64, types []int, box float64) float64 {
+	e := 0.0
+	for i := range types {
+		env := m.Desc.Forward(coord, types, box, i)
+		out, _ := m.Fit[types[i]].Forward(env.Out())
+		e += out[0] + m.Bias[types[i]]
+	}
+	return e
+}
+
+// EnergyForces returns the predicted total energy and per-coordinate
+// forces F = −∂E/∂x (flat, atom-major xyz).
+func (m *Model) EnergyForces(coord []float64, types []int, box float64) (energy float64, forces []float64) {
+	n := len(types)
+	dcoord := make([]float64, 3*n)
+	for i := 0; i < n; i++ {
+		env := m.Desc.Forward(coord, types, box, i)
+		out, tape := m.Fit[types[i]].Forward(env.Out())
+		energy += out[0] + m.Bias[types[i]]
+		dEdD := m.Fit[types[i]].InputGrad(tape, []float64{1})
+		m.Desc.Backward(env, dEdD, dcoord, false)
+	}
+	forces = make([]float64, 3*n)
+	for k := range dcoord {
+		forces[k] = -dcoord[k]
+	}
+	return energy, forces
+}
+
+// AccumulateEnergyGrad adds scale·∂E/∂θ to the parameter-gradient
+// accumulators for the given configuration and returns the predicted
+// energy.  It is the training building block: energy-loss gradients use it
+// directly; force-loss gradients use it at coordinate-perturbed
+// configurations (see Trainer).
+func (m *Model) AccumulateEnergyGrad(coord []float64, types []int, box float64, scale float64) float64 {
+	energy := 0.0
+	sink := make([]float64, len(coord)) // coordinate grads discarded here
+	for i := range types {
+		env := m.Desc.Forward(coord, types, box, i)
+		out, tape := m.Fit[types[i]].Forward(env.Out())
+		energy += out[0] + m.Bias[types[i]]
+		dEdD := m.Fit[types[i]].Backward(tape, []float64{scale})
+		m.Desc.Backward(env, dEdD, sink, true)
+	}
+	return energy
+}
+
+// Params returns every trainable parameter (descriptor embeddings plus
+// fitting networks) for optimizers and data-parallel reduction.
+func (m *Model) Params() []nn.ParamGrad {
+	out := m.Desc.Params()
+	for _, f := range m.Fit {
+		out = append(out, f.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (m *Model) ZeroGrad() {
+	m.Desc.ZeroGrad()
+	for _, f := range m.Fit {
+		f.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (m *Model) ParamCount() int {
+	n := m.Desc.ParamCount()
+	for _, f := range m.Fit {
+		n += f.ParamCount()
+	}
+	return n
+}
+
+// FlatGrad copies all gradient accumulators into a single vector.
+func (m *Model) FlatGrad(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.ParamCount())
+	}
+	k := 0
+	for _, pg := range m.Params() {
+		k += copy(dst[k:], pg.Grad)
+	}
+	return dst
+}
+
+// SetFlatGrad overwrites the gradient accumulators from a flat vector.
+func (m *Model) SetFlatGrad(src []float64) {
+	k := 0
+	for _, pg := range m.Params() {
+		k += copy(pg.Grad, src[k:k+len(pg.Grad)])
+	}
+}

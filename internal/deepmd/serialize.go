@@ -1,0 +1,138 @@
+package deepmd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/descriptor"
+	"repro/internal/nn"
+)
+
+// newZeroRand seeds throwaway weight initialization that LoadModel
+// immediately overwrites.
+func newZeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }
+
+// savedModel is the on-disk representation of a trained potential — the
+// analogue of DeePMD-kit's frozen model file.  Activations are stored by
+// name; weights in Params() order.
+type savedModel struct {
+	Format   string // "repro-deeppot"
+	Version  int
+	RCut     float64
+	RCutSmth float64
+	EmbSizes []int
+	AxisN    int
+	DescAct  string
+	NSpecies int
+	NbrNorm  float64
+	FitSizes []int
+	FitAct   string
+	Bias     []float64
+	Weights  [][]float64
+}
+
+const (
+	modelFormat  = "repro-deeppot"
+	modelVersion = 1
+)
+
+// Save serializes the trained model (configuration, biases and weights) —
+// the `dp freeze` step of the DeePMD workflow.
+func (m *Model) Save(w io.Writer) error {
+	sm := savedModel{
+		Format:   modelFormat,
+		Version:  modelVersion,
+		RCut:     m.Cfg.Descriptor.RCut,
+		RCutSmth: m.Cfg.Descriptor.RCutSmth,
+		EmbSizes: m.Cfg.Descriptor.EmbeddingSizes,
+		AxisN:    m.Cfg.Descriptor.AxisNeurons,
+		DescAct:  m.Cfg.Descriptor.Activation.Name(),
+		NSpecies: m.Cfg.NumSpecies,
+		NbrNorm:  m.Cfg.Descriptor.NeighborNorm,
+		FitSizes: m.Cfg.FittingSizes,
+		FitAct:   m.Cfg.FittingActivation.Name(),
+		Bias:     m.Bias,
+	}
+	for _, pg := range m.Params() {
+		sm.Weights = append(sm.Weights, pg.Param)
+	}
+	return gob.NewEncoder(w).Encode(&sm)
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reconstructs a model saved with Save; predictions are
+// bit-identical to the original.
+func LoadModel(r io.Reader) (*Model, error) {
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("deepmd: decoding model: %w", err)
+	}
+	if sm.Format != modelFormat {
+		return nil, fmt.Errorf("deepmd: not a frozen model (format %q)", sm.Format)
+	}
+	if sm.Version != modelVersion {
+		return nil, fmt.Errorf("deepmd: unsupported model version %d", sm.Version)
+	}
+	descAct, err := nn.ActivationByName(sm.DescAct)
+	if err != nil {
+		return nil, err
+	}
+	fitAct, err := nn.ActivationByName(sm.FitAct)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ModelConfig{
+		Descriptor: descriptor.Config{
+			RCut: sm.RCut, RCutSmth: sm.RCutSmth,
+			EmbeddingSizes: sm.EmbSizes, AxisNeurons: sm.AxisN,
+			Activation: descAct, NumSpecies: sm.NSpecies,
+			NeighborNorm: sm.NbrNorm,
+		},
+		FittingSizes:      sm.FitSizes,
+		FittingActivation: fitAct,
+		NumSpecies:        sm.NSpecies,
+	}
+	m, err := NewModel(newZeroRand(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	copy(m.Bias, sm.Bias)
+	params := m.Params()
+	if len(params) != len(sm.Weights) {
+		return nil, fmt.Errorf("deepmd: model has %d parameter tensors, file has %d",
+			len(params), len(sm.Weights))
+	}
+	for i, pg := range params {
+		if len(pg.Param) != len(sm.Weights[i]) {
+			return nil, fmt.Errorf("deepmd: parameter tensor %d has %d values, file has %d",
+				i, len(pg.Param), len(sm.Weights[i]))
+		}
+		copy(pg.Param, sm.Weights[i])
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a frozen model from path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

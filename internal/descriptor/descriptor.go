@@ -1,0 +1,311 @@
+package descriptor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Config parameterizes a DeepPot-SE descriptor.
+type Config struct {
+	// RCut is the hard radial cutoff in Å (gene rcut in the paper).
+	RCut float64
+	// RCutSmth is the smoothing onset in Å (gene rcut_smth).
+	RCutSmth float64
+	// EmbeddingSizes are the embedding-network hidden sizes; the paper
+	// fixes {25, 50, 100} (§2.1.2).  The last size is the per-neighbour
+	// feature width M1.
+	EmbeddingSizes []int
+	// AxisNeurons is M2, the number of embedding columns used for the
+	// second factor of the descriptor matrix (DeePMD's axis_neuron).
+	AxisNeurons int
+	// Activation is the embedding-network activation (gene
+	// desc_activ_func).
+	Activation nn.Activation
+	// NumSpecies is the number of atom types; one embedding net is built
+	// per neighbour type, as in DeePMD.
+	NumSpecies int
+	// NeighborNorm is the fixed normalization constant standing in for
+	// DeePMD's sel-size padding: environment sums are divided by it so the
+	// descriptor scale is independent of the instantaneous neighbour
+	// count.
+	NeighborNorm float64
+	// PairTypeEmbedding selects DeePMD's full embedding layout: one
+	// network per (center type, neighbour type) pair instead of one per
+	// neighbour type.  Costs NumSpecies× more parameters; the default
+	// (false) shares embeddings across center types.
+	PairTypeEmbedding bool
+}
+
+// Validate checks structural validity.
+func (c *Config) Validate() error {
+	if c.RCut <= 0 || c.RCutSmth < 0 || c.RCutSmth >= c.RCut {
+		return fmt.Errorf("descriptor: need 0 <= rcut_smth < rcut, got %v, %v", c.RCutSmth, c.RCut)
+	}
+	if len(c.EmbeddingSizes) == 0 {
+		return fmt.Errorf("descriptor: EmbeddingSizes empty")
+	}
+	if c.AxisNeurons <= 0 || c.AxisNeurons > c.EmbeddingSizes[len(c.EmbeddingSizes)-1] {
+		return fmt.Errorf("descriptor: AxisNeurons %d out of range", c.AxisNeurons)
+	}
+	if c.NumSpecies <= 0 {
+		return fmt.Errorf("descriptor: NumSpecies must be positive")
+	}
+	return nil
+}
+
+// M1 returns the per-neighbour embedding width.
+func (c *Config) M1() int { return c.EmbeddingSizes[len(c.EmbeddingSizes)-1] }
+
+// OutDim returns the flattened descriptor dimension M1×M2 per atom.
+func (c *Config) OutDim() int { return c.M1() * c.AxisNeurons }
+
+// Descriptor holds the embedding networks and evaluates per-atom
+// DeepPot-SE feature vectors with exact coordinate gradients.
+type Descriptor struct {
+	Cfg    Config
+	Switch SwitchFunc
+	// Embed holds the embedding networks (scalar s(r) in, M1 features
+	// out).  With shared embeddings there is one per neighbour type
+	// (index = neighbour type); with PairTypeEmbedding there is one per
+	// (center, neighbour) pair (index = center·NumSpecies + neighbour).
+	Embed []*nn.MLP
+}
+
+// embedIndex selects the embedding network for a center/neighbour type
+// pair.
+func (d *Descriptor) embedIndex(centerType, neighborType int) int {
+	if d.Cfg.PairTypeEmbedding {
+		return centerType*d.Cfg.NumSpecies + neighborType
+	}
+	return neighborType
+}
+
+// New builds a descriptor with randomly initialized embedding networks.
+func New(rng *rand.Rand, cfg Config) (*Descriptor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NeighborNorm <= 0 {
+		cfg.NeighborNorm = 16
+	}
+	d := &Descriptor{
+		Cfg:    cfg,
+		Switch: SwitchFunc{RMin: cfg.RCutSmth, RMax: cfg.RCut},
+	}
+	hidden := cfg.EmbeddingSizes[:len(cfg.EmbeddingSizes)-1]
+	nNets := cfg.NumSpecies
+	if cfg.PairTypeEmbedding {
+		nNets = cfg.NumSpecies * cfg.NumSpecies
+	}
+	for t := 0; t < nNets; t++ {
+		// Embedding net: scalar input, hidden layers, M1 outputs, all with
+		// the chosen activation (DeePMD embeds with the nonlinearity on
+		// the output layer too; we keep the final layer linear for
+		// gradient simplicity — the hidden stack carries the
+		// nonlinearity).
+		d.Embed = append(d.Embed, nn.NewMLP(rng, 1, hidden, cfg.M1(), cfg.Activation))
+	}
+	return d, nil
+}
+
+// neighbor is one entry of an atom's environment.
+type neighbor struct {
+	j        int        // neighbour atom index
+	embedIdx int        // embedding-network index for this pair
+	d        [3]float64 // minimum-image displacement from center to neighbour
+	r        float64    // |d|
+	s        float64    // s(r)
+	ds       float64    // ds/dr
+	g        []float64  // embedding output, len M1
+	tape     *nn.Tape   // embedding forward tape
+	rhat     [4]float64 // environment row (s, s·dx/r, s·dy/r, s·dz/r)
+}
+
+// Env is the evaluated environment of one atom, retained for backprop.
+type Env struct {
+	center int
+	nbrs   []neighbor
+	t1     []float64 // 4×M1 row-major: T1[a][m] = Σ_j R̃_j[a]·G_j[m] / norm
+	out    []float64 // flattened descriptor, M1×M2
+}
+
+// Out returns the descriptor vector (owned by the Env; do not mutate).
+func (e *Env) Out() []float64 { return e.out }
+
+// Forward evaluates the descriptor of atom i in a configuration given by
+// flat coordinates (atom-major xyz), per-atom types, and cubic box length
+// (0 disables periodicity).  The returned Env supports Backward.
+func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *Env {
+	n := len(types)
+	m1 := d.Cfg.M1()
+	env := &Env{center: i}
+	rc2 := d.Cfg.RCut * d.Cfg.RCut
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		var dd [3]float64
+		r2 := 0.0
+		for k := 0; k < 3; k++ {
+			dk := coord[3*j+k] - coord[3*i+k]
+			if box > 0 {
+				dk -= box * math.Round(dk/box)
+			}
+			dd[k] = dk
+			r2 += dk * dk
+		}
+		if r2 >= rc2 || r2 == 0 {
+			continue
+		}
+		r := math.Sqrt(r2)
+		s, ds := d.Switch.EvalDeriv(r)
+		eIdx := d.embedIndex(types[i], types[j])
+		g, tape := d.Embed[eIdx].Forward([]float64{s})
+		nb := neighbor{j: j, embedIdx: eIdx, d: dd, r: r, s: s, ds: ds, g: g, tape: tape}
+		nb.rhat[0] = s
+		for k := 0; k < 3; k++ {
+			nb.rhat[k+1] = s * dd[k] / r
+		}
+		env.nbrs = append(env.nbrs, nb)
+	}
+
+	// T1[a][m] = Σ_j R̃_j[a] G_j[m] / norm.
+	t1 := make([]float64, 4*m1)
+	inv := 1 / d.Cfg.NeighborNorm
+	for _, nb := range env.nbrs {
+		for a := 0; a < 4; a++ {
+			ra := nb.rhat[a] * inv
+			row := t1[a*m1 : (a+1)*m1]
+			for m, gm := range nb.g {
+				row[m] += ra * gm
+			}
+		}
+	}
+	env.t1 = t1
+
+	// D[m1][m2] = Σ_a T1[a][m1]·T1[a][m2],  m2 < M2.
+	m2n := d.Cfg.AxisNeurons
+	out := make([]float64, m1*m2n)
+	for mi := 0; mi < m1; mi++ {
+		for mj := 0; mj < m2n; mj++ {
+			sum := 0.0
+			for a := 0; a < 4; a++ {
+				sum += t1[a*m1+mi] * t1[a*m1+mj]
+			}
+			out[mi*m2n+mj] = sum
+		}
+	}
+	env.out = out
+	return env
+}
+
+// Backward propagates dL/dD (flattened M1×M2) through the descriptor,
+// accumulating embedding-network parameter gradients and adding coordinate
+// gradients into dcoord (flat, same layout as coord).  Set train=false to
+// skip parameter-gradient accumulation (force inference).
+func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train bool) {
+	m1 := d.Cfg.M1()
+	m2n := d.Cfg.AxisNeurons
+	t1 := env.t1
+
+	// dL/dT1[a][m] from D = T1ᵀ·T1[:, :M2].
+	dT1 := make([]float64, 4*m1)
+	for a := 0; a < 4; a++ {
+		ta := t1[a*m1 : (a+1)*m1]
+		da := dT1[a*m1 : (a+1)*m1]
+		for mi := 0; mi < m1; mi++ {
+			g := 0.0
+			for mj := 0; mj < m2n; mj++ {
+				g += dOut[mi*m2n+mj] * ta[mj]
+			}
+			da[mi] += g
+		}
+		for mj := 0; mj < m2n; mj++ {
+			g := 0.0
+			for mi := 0; mi < m1; mi++ {
+				g += dOut[mi*m2n+mj] * ta[mi]
+			}
+			da[mj] += g
+		}
+	}
+
+	inv := 1 / d.Cfg.NeighborNorm
+	for _, nb := range env.nbrs {
+		// dL/dG_j[m] = Σ_a dT1[a][m]·R̃_j[a]/norm
+		dg := make([]float64, m1)
+		// dL/dR̃_j[a] = Σ_m dT1[a][m]·G_j[m]/norm
+		var dr [4]float64
+		for a := 0; a < 4; a++ {
+			ra := nb.rhat[a] * inv
+			da := dT1[a*m1 : (a+1)*m1]
+			sum := 0.0
+			for m := 0; m < m1; m++ {
+				dg[m] += da[m] * ra
+				sum += da[m] * nb.g[m]
+			}
+			dr[a] = sum * inv
+		}
+
+		// Through the embedding network to its scalar input s.
+		var dsEmbed float64
+		net := d.Embed[nb.embedIdx]
+		if train {
+			dsEmbed = net.Backward(nb.tape, dg)[0]
+		} else {
+			dsEmbed = net.InputGrad(nb.tape, dg)[0]
+		}
+
+		// Total dL/ds: embedding path + R̃ rows.
+		dLds := dsEmbed + dr[0]
+		for k := 0; k < 3; k++ {
+			dLds += dr[k+1] * nb.d[k] / nb.r
+		}
+
+		// dL/dd_k: s-dependence via ds/dr·d_k/r plus the direct d
+		// dependence of rows 1..3: R̃_k = s·d_k/r.
+		var dd [3]float64
+		for k := 0; k < 3; k++ {
+			dd[k] = dLds * nb.ds * nb.d[k] / nb.r
+			for l := 0; l < 3; l++ {
+				// ∂(d_l/r)/∂d_k = δ_kl/r − d_k·d_l/r³
+				delta := 0.0
+				if k == l {
+					delta = 1
+				}
+				dd[k] += dr[l+1] * nb.s * (delta/nb.r - nb.d[k]*nb.d[l]/(nb.r*nb.r*nb.r))
+			}
+		}
+		for k := 0; k < 3; k++ {
+			dcoord[3*nb.j+k] += dd[k]
+			dcoord[3*env.center+k] -= dd[k]
+		}
+	}
+}
+
+// ZeroGrad clears all embedding-network gradients.
+func (d *Descriptor) ZeroGrad() {
+	for _, m := range d.Embed {
+		m.ZeroGrad()
+	}
+}
+
+// Params returns all embedding parameters for the optimizer.
+func (d *Descriptor) Params() []nn.ParamGrad {
+	var out []nn.ParamGrad
+	for _, m := range d.Embed {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// ParamCount returns the total embedding parameter count.
+func (d *Descriptor) ParamCount() int {
+	n := 0
+	for _, m := range d.Embed {
+		n += m.ParamCount()
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+// Package descriptor implements the Deep Potential Smooth Edition
+// (DeepPot-SE) atomic-environment descriptor of Zhang et al., the
+// representation DeePMD-kit feeds its fitting network (§1).  The two
+// radial cutoffs the paper tunes — rcut and rcut_smth — parameterize the
+// smooth switching function here, and the embedding network maps switched
+// inverse distances to learned per-neighbour features.
+package descriptor
+
+// SwitchFunc is the DeepPot-SE smooth radial weight s(r):
+//
+//	s(r) = 1/r                                   r  < rmin
+//	s(r) = (1/r)·(u³(-6u² + 15u − 10) + 1)        rmin ≤ r < rmax,  u = (r−rmin)/(rmax−rmin)
+//	s(r) = 0                                     r ≥ rmax
+//
+// where rmin = rcut_smth and rmax = rcut.  s is C² at both ends, which is
+// what makes the learned potential-energy surface smooth and continuously
+// differentiable.
+type SwitchFunc struct {
+	RMin, RMax float64 // rcut_smth and rcut, Å
+}
+
+// Eval returns s(r).
+func (s SwitchFunc) Eval(r float64) float64 {
+	v, _ := s.EvalDeriv(r)
+	return v
+}
+
+// EvalDeriv returns s(r) and ds/dr.
+func (s SwitchFunc) EvalDeriv(r float64) (val, deriv float64) {
+	if r <= 0 {
+		// The descriptor never sees r = 0 (self-interaction excluded);
+		// clamp defensively.
+		return 0, 0
+	}
+	if r < s.RMin {
+		return 1 / r, -1 / (r * r)
+	}
+	if r >= s.RMax {
+		return 0, 0
+	}
+	w := s.RMax - s.RMin
+	u := (r - s.RMin) / w
+	// p(u) = u³(-6u² + 15u − 10) + 1;  p(0)=1, p(1)=0, p'(0)=p'(1)=0.
+	p := u*u*u*(-6*u*u+15*u-10) + 1
+	dp := (u * u * (-30*u*u + 60*u - 30)) / w // dp/dr
+	val = p / r
+	deriv = dp/r - p/(r*r)
+	return val, deriv
+}

@@ -1,0 +1,43 @@
+package ea
+
+import (
+	"context"
+	"testing"
+
+	"math/rand"
+)
+
+// BenchmarkReproductionPipeline measures the paper's Listing 1 operator
+// chain (random selection → clone → isotropic Gaussian mutation) at the
+// 7-gene, 100-parent paper scale.
+func BenchmarkReproductionPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bounds := make(Bounds, 7)
+	std := make([]float64, 7)
+	for i := range bounds {
+		bounds[i] = Interval{Lo: 0, Hi: 1}
+		std[i] = 0.0625
+	}
+	parents := RandomPopulation(rng, bounds, 100, 0)
+	ctx := NewContext(std)
+	stream := Pipe(RandomSelection(rng, parents), Clone(), MutateGaussian(rng, ctx, bounds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := stream(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}
+
+func BenchmarkEvalPoolParallel(b *testing.B) {
+	bounds := Bounds{{Lo: 0, Hi: 1}}
+	ev := EvaluatorFunc(func(_ context.Context, g Genome) (Fitness, error) {
+		return Fitness{g[0], 1 - g[0]}, nil
+	})
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop := RandomPopulation(rng, bounds, 100, 0)
+		EvalPool(context.Background(), Source(pop), 100, ev, PoolConfig{Parallelism: 8, Objectives: 2})
+	}
+}

@@ -1,0 +1,86 @@
+package ea
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Interval is a closed real interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Clamp returns v clipped into the interval.
+func (iv Interval) Clamp(v float64) float64 {
+	if v < iv.Lo {
+		return iv.Lo
+	}
+	if v > iv.Hi {
+		return iv.Hi
+	}
+	return v
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Bounds holds per-gene hard bounds, used both for random initialization
+// and to clip Gaussian mutation, as in LEAP's mutate_gaussian(hard_bounds=…).
+type Bounds []Interval
+
+// Validate returns an error if any interval is inverted.
+func (b Bounds) Validate() error {
+	for i, iv := range b {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("ea: bounds[%d] inverted: [%g, %g]", i, iv.Lo, iv.Hi)
+		}
+	}
+	return nil
+}
+
+// Sample draws a uniform random genome inside the bounds.
+func (b Bounds) Sample(rng *rand.Rand) Genome {
+	g := make(Genome, len(b))
+	for i, iv := range b {
+		g[i] = iv.Lo + rng.Float64()*iv.Width()
+	}
+	return g
+}
+
+// Clamp clips every gene of g into its interval, in place.
+func (b Bounds) Clamp(g Genome) {
+	if len(g) != len(b) {
+		panic(fmt.Sprintf("ea: genome length %d != bounds length %d", len(g), len(b)))
+	}
+	for i := range g {
+		g[i] = b[i].Clamp(g[i])
+	}
+}
+
+// Contains reports whether every gene is within its interval.
+func (b Bounds) Contains(g Genome) bool {
+	if len(g) != len(b) {
+		return false
+	}
+	for i := range g {
+		if !b[i].Contains(g[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomPopulation creates n unevaluated individuals with uniform random
+// genomes, marking them as born in generation gen.
+func RandomPopulation(rng *rand.Rand, b Bounds, n, gen int) Population {
+	pop := make(Population, n)
+	for i := range pop {
+		ind := NewIndividual(b.Sample(rng))
+		ind.Birth = gen
+		pop[i] = ind
+	}
+	return pop
+}

@@ -1,0 +1,113 @@
+package ea
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Evaluator computes the multiobjective fitness of a genome.  Evaluations
+// may be expensive (the paper's were two-hour DeePMD trainings), so the
+// context carries cancellation and deadlines.
+type Evaluator interface {
+	Evaluate(ctx context.Context, g Genome) (Fitness, error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(ctx context.Context, g Genome) (Fitness, error)
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(ctx context.Context, g Genome) (Fitness, error) {
+	return f(ctx, g)
+}
+
+// ErrEvalTimeout marks an evaluation killed by the per-individual time
+// limit, the analogue of the paper's two-hour subprocess TimeoutError.
+var ErrEvalTimeout = errors.New("ea: evaluation timed out")
+
+// PoolConfig configures the parallel evaluation pool.
+type PoolConfig struct {
+	// Parallelism is the number of concurrent evaluations, the analogue of
+	// the number of Summit nodes running Dask workers (100 in the paper).
+	Parallelism int
+	// Timeout, if positive, is the per-evaluation wall-clock limit (the
+	// paper's limit was two hours).  Evaluations that exceed it are failed.
+	Timeout time.Duration
+	// Objectives is the fitness dimension, needed to build MAXINT failure
+	// fitnesses (2 in the paper: energy and force loss).
+	Objectives int
+}
+
+// EvalPool pulls n individuals from the stream and evaluates them
+// concurrently, the analogue of LEAP's eval_pool(client=…, size=…).
+// Failed or timed-out individuals receive MaxFitness on every objective
+// rather than an error fitness, per §2.2.4, so that downstream
+// non-dominated sorting remains total.  The returned slice preserves pull
+// order.
+func EvalPool(ctx context.Context, src Stream, n int, ev Evaluator, cfg PoolConfig) Population {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.Objectives <= 0 {
+		cfg.Objectives = 2
+	}
+	inds := Take(src, n)
+
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, ind := range inds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ind *Individual) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			EvaluateIndividual(ctx, ind, ev, cfg.Timeout, cfg.Objectives)
+		}(ind)
+	}
+	wg.Wait()
+	return inds
+}
+
+// EvaluateIndividual runs one evaluation with timeout and panic recovery,
+// recording fitness, runtime and error on the individual.  Any failure —
+// error return, timeout, or panic inside the evaluator (the paper saw
+// hyperparameter combinations that crashed training outright) — yields the
+// MAXINT failure fitness.
+func EvaluateIndividual(ctx context.Context, ind *Individual, ev Evaluator, timeout time.Duration, objectives int) {
+	evalCtx := ctx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		evalCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	fit, err := safeEvaluate(evalCtx, ind.Genome, ev)
+	ind.Runtime = time.Since(start)
+
+	if err == nil && evalCtx.Err() != nil {
+		err = fmt.Errorf("%w: %v", ErrEvalTimeout, evalCtx.Err())
+	}
+	if err != nil {
+		ind.Fitness = FailureFitness(objectives)
+		ind.Err = err
+	} else {
+		ind.Fitness = fit
+		ind.Err = nil
+	}
+	ind.Evaluated = true
+}
+
+// safeEvaluate converts evaluator panics into errors so one pathological
+// hyperparameter combination cannot take down the whole campaign.
+func safeEvaluate(ctx context.Context, g Genome, ev Evaluator) (fit Fitness, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fit = nil
+			err = fmt.Errorf("ea: evaluation panic: %v", r)
+		}
+	}()
+	return ev.Evaluate(ctx, g)
+}

@@ -1,0 +1,136 @@
+// Package ea is a small evolutionary-computation framework modeled on the
+// LEAP library the paper built its experiments with (§2.1.4, §2.2.3).
+//
+// It provides real-valued genomes, individuals with multiobjective
+// fitnesses, a pull-based reproduction-operator pipeline (random parent
+// selection, cloning, isotropic Gaussian mutation with hard bounds), and a
+// parallel evaluation pool with the paper's failure semantics: any
+// evaluation that errors or times out receives MAXINT on every objective so
+// that non-dominated sorting remains well defined (§2.2.4).
+package ea
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/uuid"
+)
+
+// MaxFitness is the fitness assigned to every objective of a failed
+// evaluation.  The paper uses MAXINT rather than NaN because sorting NaNs
+// is undefined behaviour in NSGA-II's rank ordering (§2.2.4); float64 can
+// represent 2^63 exactly, so comparisons behave exactly like the integer.
+const MaxFitness = float64(math.MaxInt64)
+
+// Genome is a real-valued genome vector.  Categorical genes are encoded as
+// floats and decoded with floor-modulus lookup at evaluation time, exactly
+// as the paper's LEAP decoder does (§2.2.2).
+type Genome []float64
+
+// Clone returns an independent copy of the genome.
+func (g Genome) Clone() Genome {
+	out := make(Genome, len(g))
+	copy(out, g)
+	return out
+}
+
+// Fitness is a vector of objective values, all minimized.
+type Fitness []float64
+
+// Clone returns an independent copy of the fitness vector.
+func (f Fitness) Clone() Fitness {
+	out := make(Fitness, len(f))
+	copy(out, f)
+	return out
+}
+
+// IsFailure reports whether the fitness marks a failed evaluation (every
+// objective at MaxFitness).
+func (f Fitness) IsFailure() bool {
+	if len(f) == 0 {
+		return false
+	}
+	for _, v := range f {
+		if v != MaxFitness {
+			return false
+		}
+	}
+	return true
+}
+
+// FailureFitness builds a fitness of n objectives all set to MaxFitness.
+func FailureFitness(n int) Fitness {
+	f := make(Fitness, n)
+	for i := range f {
+		f[i] = MaxFitness
+	}
+	return f
+}
+
+// Individual is one member of a population.  Rank and Distance are filled
+// in by NSGA-II's non-dominated sorting and crowding-distance operators.
+type Individual struct {
+	ID        uuid.UUID     // assigned at creation, names the training sandbox dir
+	Genome    Genome        // real-valued genotype
+	Fitness   Fitness       // objective values; valid only if Evaluated
+	Evaluated bool          // whether Fitness has been assigned
+	Err       error         // evaluation error, if the evaluation failed
+	Runtime   time.Duration // wall-clock duration of the evaluation
+	Rank      int           // Pareto front index, 0 is the best front
+	Distance  float64       // crowding distance within its front
+	Birth     int           // generation at which this individual was created
+}
+
+// NewIndividual wraps a genome in a fresh, unevaluated individual with a
+// newly assigned UUID.
+func NewIndividual(g Genome) *Individual {
+	return &Individual{ID: uuid.New(), Genome: g}
+}
+
+// Clone copies the individual, assigning a new UUID and clearing the
+// evaluation state, mirroring LEAP's clone operator: offspring must be
+// re-evaluated even when the genome is identical.
+func (ind *Individual) Clone() *Individual {
+	return &Individual{
+		ID:     uuid.New(),
+		Genome: ind.Genome.Clone(),
+		Birth:  ind.Birth,
+	}
+}
+
+// String renders a compact human-readable description.
+func (ind *Individual) String() string {
+	return fmt.Sprintf("Individual{%s gen=%d fitness=%v rank=%d}", ind.ID, ind.Birth, ind.Fitness, ind.Rank)
+}
+
+// Population is an ordered collection of individuals.
+type Population []*Individual
+
+// Clone deep-copies the population structure (individuals are shared).
+func (p Population) Clone() Population {
+	out := make(Population, len(p))
+	copy(out, p)
+	return out
+}
+
+// Evaluated reports whether every member has a fitness.
+func (p Population) Evaluated() bool {
+	for _, ind := range p {
+		if !ind.Evaluated {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures counts members whose evaluation failed.
+func (p Population) Failures() int {
+	n := 0
+	for _, ind := range p {
+		if ind.Evaluated && ind.Fitness.IsFailure() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+package ea
+
+import "math/rand"
+
+// LatinHypercube draws n genomes with Latin-hypercube sampling: each
+// gene's range is divided into n equal strata and every stratum is hit
+// exactly once, giving far more even marginal coverage than uniform
+// sampling.  HPO campaigns commonly seed generation 0 this way; an
+// ablation can compare it against the paper's uniform initialization
+// (Table 1).
+func LatinHypercube(rng *rand.Rand, b Bounds, n int) []Genome {
+	if n <= 0 {
+		return nil
+	}
+	genomes := make([]Genome, n)
+	for i := range genomes {
+		genomes[i] = make(Genome, len(b))
+	}
+	for g, iv := range b {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			stratum := float64(perm[i])
+			u := (stratum + rng.Float64()) / float64(n)
+			genomes[i][g] = iv.Lo + u*iv.Width()
+		}
+	}
+	return genomes
+}
+
+// LatinHypercubePopulation wraps LatinHypercube into unevaluated
+// individuals born at generation gen.
+func LatinHypercubePopulation(rng *rand.Rand, b Bounds, n, gen int) Population {
+	genomes := LatinHypercube(rng, b, n)
+	pop := make(Population, n)
+	for i, g := range genomes {
+		ind := NewIndividual(g)
+		ind.Birth = gen
+		pop[i] = ind
+	}
+	return pop
+}

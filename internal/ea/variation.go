@@ -1,0 +1,96 @@
+package ea
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file provides the canonical real-coded NSGA-II variation operators
+// — simulated binary crossover (SBX) and polynomial mutation (Deb &
+// Agrawal) — which the paper *replaced* with clone + annealed isotropic
+// Gaussian mutation (§2.2.3, Listing 1).  Having both allows ablation
+// benchmarks comparing the paper's pipeline against the textbook one.
+
+// SBX implements simulated binary crossover with distribution index eta.
+// It pulls parents pairwise and yields both children, clipped to bounds.
+func SBX(rng *rand.Rand, bounds Bounds, eta, pCross float64) Operator {
+	return func(src Stream) Stream {
+		var pending *Individual
+		return func() (*Individual, bool) {
+			if pending != nil {
+				out := pending
+				pending = nil
+				return out, true
+			}
+			a, ok := src()
+			if !ok {
+				return nil, false
+			}
+			b, ok := src()
+			if !ok {
+				return a, true
+			}
+			if rng.Float64() < pCross {
+				for i := range a.Genome {
+					if i >= len(b.Genome) || rng.Float64() > 0.5 {
+						continue
+					}
+					x1, x2 := a.Genome[i], b.Genome[i]
+					if math.Abs(x1-x2) < 1e-14 {
+						continue
+					}
+					u := rng.Float64()
+					var beta float64
+					if u <= 0.5 {
+						beta = math.Pow(2*u, 1/(eta+1))
+					} else {
+						beta = math.Pow(1/(2*(1-u)), 1/(eta+1))
+					}
+					c1 := 0.5 * ((1+beta)*x1 + (1-beta)*x2)
+					c2 := 0.5 * ((1-beta)*x1 + (1+beta)*x2)
+					a.Genome[i] = bounds[i].Clamp(c1)
+					b.Genome[i] = bounds[i].Clamp(c2)
+				}
+			}
+			pending = b
+			return a, true
+		}
+	}
+}
+
+// MutatePolynomial implements polynomial mutation with distribution index
+// eta; each gene mutates with probability pm (commonly 1/n).
+func MutatePolynomial(rng *rand.Rand, bounds Bounds, eta, pm float64) Operator {
+	return func(src Stream) Stream {
+		return func() (*Individual, bool) {
+			ind, ok := src()
+			if !ok {
+				return nil, false
+			}
+			for i := range ind.Genome {
+				if rng.Float64() >= pm {
+					continue
+				}
+				lo, hi := bounds[i].Lo, bounds[i].Hi
+				span := hi - lo
+				if span <= 0 {
+					continue
+				}
+				x := ind.Genome[i]
+				d1 := (x - lo) / span
+				d2 := (hi - x) / span
+				u := rng.Float64()
+				var dq float64
+				if u < 0.5 {
+					bl := 2*u + (1-2*u)*math.Pow(1-d1, eta+1)
+					dq = math.Pow(bl, 1/(eta+1)) - 1
+				} else {
+					bl := 2*(1-u) + 2*(u-0.5)*math.Pow(1-d2, eta+1)
+					dq = 1 - math.Pow(bl, 1/(eta+1))
+				}
+				ind.Genome[i] = bounds[i].Clamp(x + dq*span)
+			}
+			return ind, true
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package ea
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSBXChildrenWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := Bounds{{Lo: 0, Hi: 1}, {Lo: -5, Hi: 5}}
+	pop := RandomPopulation(rng, b, 20, 0)
+	out := Take(Pipe(Source(pop), Clone(), SBX(rng, b, 15, 0.9)), 20)
+	for _, ind := range out {
+		if !b.Contains(ind.Genome) {
+			t.Errorf("SBX child %v escapes bounds", ind.Genome)
+		}
+	}
+}
+
+func TestSBXPreservesMean(t *testing.T) {
+	// SBX children are symmetric around the parent mean per gene.
+	rng := rand.New(rand.NewSource(2))
+	b := Bounds{{Lo: -100, Hi: 100}}
+	a := NewIndividual(Genome{2})
+	c := NewIndividual(Genome{8})
+	out := Take(Pipe(Source(Population{a, c}), SBX(rng, b, 10, 1.0)), 2)
+	sum := out[0].Genome[0] + out[1].Genome[0]
+	if math.Abs(sum-10) > 1e-9 {
+		t.Errorf("children sum %v, want 10 (mean-preserving, unclipped)", sum)
+	}
+}
+
+func TestSBXOddStreamPassesThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := Bounds{{Lo: 0, Hi: 1}}
+	single := NewIndividual(Genome{0.5})
+	stream := Pipe(Source(Population{single}), SBX(rng, b, 15, 1.0))
+	ind, ok := stream()
+	if !ok || ind.Genome[0] != 0.5 {
+		t.Error("trailing individual not passed through")
+	}
+	if _, ok := stream(); ok {
+		t.Error("stream did not end")
+	}
+}
+
+func TestMutatePolynomialWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := Bounds{{Lo: 0, Hi: 1}, {Lo: 2, Hi: 6}}
+	pop := RandomPopulation(rng, b, 50, 0)
+	out := Take(Pipe(Source(pop), Clone(), MutatePolynomial(rng, b, 20, 1.0)), 50)
+	for _, ind := range out {
+		if !b.Contains(ind.Genome) {
+			t.Errorf("polynomial mutant %v escapes bounds", ind.Genome)
+		}
+	}
+}
+
+func TestMutatePolynomialRespectRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := Bounds{{Lo: 0, Hi: 1}}
+	changed := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ind := NewIndividual(Genome{0.5})
+		out := Take(Pipe(Source(Population{ind}), MutatePolynomial(rng, b, 20, 0.3)), 1)
+		if out[0].Genome[0] != 0.5 {
+			changed++
+		}
+	}
+	rate := float64(changed) / n
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("mutation rate %v, want ≈0.3", rate)
+	}
+}
+
+func TestMutatePolynomialDegenerateInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := Bounds{{Lo: 1, Hi: 1}}
+	ind := NewIndividual(Genome{1})
+	out := Take(Pipe(Source(Population{ind}), MutatePolynomial(rng, b, 20, 1.0)), 1)
+	if out[0].Genome[0] != 1 {
+		t.Errorf("degenerate interval mutated: %v", out[0].Genome[0])
+	}
+}

@@ -1,0 +1,48 @@
+package hpo
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDecode(b *testing.B) {
+	rep := PaperRepresentation()
+	rng := rand.New(rand.NewSource(1))
+	g := rep.Bounds.Sample(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderInput(b *testing.B) {
+	h := HParams{0.0047, 0.0001, 11.32, 2.42, "none", "tanh", "tanh"}
+	vars := TemplateVars(h, 40000, 1000, 1, "/data/train", "/data/val")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderInput("", vars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSurrogateScale(b *testing.B) {
+	// One full run at paper per-run scale against the cheap analytic
+	// evaluator isolates the EA machinery cost from evaluation cost.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := RunCampaign(benchCtx, CampaignConfig{
+			Runs: 1, PopSize: 100, Generations: 6,
+			Evaluator: persistEval, Parallelism: 8,
+			AnnealFactor: 0.85, BaseSeed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchCtx = context.Background()

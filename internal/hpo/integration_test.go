@@ -1,0 +1,71 @@
+package hpo
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/md"
+)
+
+// TestRealBackendCampaign runs a miniature but complete paper campaign
+// with NO surrogate: every fitness evaluation generates input.json in a
+// UUID directory, trains a real DeepPot-SE model on MD-generated data,
+// and reads fitness from lcurve.out.  This is the §2.2 pipeline end to
+// end, scaled from (5 runs × 100 pop × 7 gens × 40k steps) down to
+// (1 × 6 × 3 × 25 steps).
+func TestRealBackendCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real trainings in -short mode")
+	}
+	rng := rand.New(rand.NewSource(31))
+	species := []md.Species{md.Al, md.Cl, md.Cl, md.Cl, md.K, md.Cl}
+	pot := md.NewPaperBMH(4.0)
+	data := dataset.Generate(rng, species, 7.0, 498, pot, 0.5, 60, 8, 16)
+	data.Shuffle(rng)
+	train, val := data.Split(0.25)
+
+	rt := &RealTrainer{Train: train, Val: val, Workers: 1, StepsOverride: 25, ValFrames: 2}
+	tinyTemplate := strings.NewReplacer(
+		"[25, 50, 100]", "[3, 6]",
+		"[240, 240, 240]", "[6]",
+	).Replace(DefaultInputTemplate)
+	ev := &WorkflowEvaluator{
+		WorkDir:  t.TempDir(),
+		Template: tinyTemplate,
+		Steps:    25, DispFreq: 25, Seed: 7,
+		TrainDir: "in-process", ValDir: "in-process",
+		Trainer: TrainerFunc(rt.TrainRun),
+	}
+
+	res, err := RunCampaign(context.Background(), CampaignConfig{
+		Runs: 1, PopSize: 6, Generations: 2,
+		Evaluator: ev, Parallelism: 3, AnnealFactor: 0.85, BaseSeed: 17,
+	})
+	if err != nil {
+		t.Fatalf("RunCampaign(real): %v", err)
+	}
+	if res.TotalEvaluations() != 18 {
+		t.Fatalf("evaluations = %d, want 18", res.TotalEvaluations())
+	}
+	// Real trainings may fail on extreme hyperparameters; at least the
+	// majority must succeed and the frontier must be non-empty with
+	// finite, positive losses.
+	if res.TotalFailures() > 9 {
+		t.Errorf("too many failures: %d of 18", res.TotalFailures())
+	}
+	front := res.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty frontier from real campaign")
+	}
+	for _, ind := range front {
+		if ind.Fitness.IsFailure() {
+			continue
+		}
+		if ind.Fitness[0] <= 0 || ind.Fitness[1] <= 0 {
+			t.Errorf("non-positive loss on frontier: %v", ind.Fitness)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package hpo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/ea"
+	"repro/internal/nsga2"
+	"repro/internal/uuid"
+)
+
+// The persistence format stores every evaluation of every generation of
+// every run, so a 12-hour campaign (the paper's Summit jobs) can be
+// analyzed offline or resumed into the figure/table generators without
+// re-running anything.
+
+// savedIndividual is the JSON form of one evaluated individual.  Rank and
+// crowding distance are omitted (recomputable, and +Inf is not valid
+// JSON).
+type savedIndividual struct {
+	ID        string    `json:"id"`
+	Genome    []float64 `json:"genome"`
+	Fitness   []float64 `json:"fitness"`
+	Err       string    `json:"err,omitempty"`
+	RuntimeMS int64     `json:"runtime_ms"`
+	Birth     int       `json:"birth"`
+}
+
+type savedGeneration struct {
+	Gen         int               `json:"gen"`
+	Evaluated   []savedIndividual `json:"evaluated"`
+	SurvivorIDs []string          `json:"survivor_ids"`
+	Failures    int               `json:"failures"`
+}
+
+type savedRun struct {
+	Generations []savedGeneration `json:"generations"`
+}
+
+type savedCampaign struct {
+	Format  string     `json:"format"`
+	Version int        `json:"version"`
+	Runs    []savedRun `json:"runs"`
+}
+
+const (
+	campaignFormat  = "repro-hpo-campaign"
+	campaignVersion = 1
+)
+
+// SaveCampaign writes a campaign result as JSON.
+func SaveCampaign(w io.Writer, c *CampaignResult) error {
+	sc := savedCampaign{Format: campaignFormat, Version: campaignVersion}
+	for _, run := range c.Runs {
+		var sr savedRun
+		for _, gen := range run.Generations {
+			sg := savedGeneration{Gen: gen.Gen, Failures: gen.Failures}
+			for _, ind := range gen.Evaluated {
+				si := savedIndividual{
+					ID:        ind.ID.String(),
+					Genome:    ind.Genome,
+					Fitness:   ind.Fitness,
+					RuntimeMS: ind.Runtime.Milliseconds(),
+					Birth:     ind.Birth,
+				}
+				if ind.Err != nil {
+					si.Err = ind.Err.Error()
+				}
+				sg.Evaluated = append(sg.Evaluated, si)
+			}
+			for _, ind := range gen.Survivors {
+				sg.SurvivorIDs = append(sg.SurvivorIDs, ind.ID.String())
+			}
+			sr.Generations = append(sr.Generations, sg)
+		}
+		sc.Runs = append(sc.Runs, sr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&sc)
+}
+
+// SaveCampaignFile writes the campaign to path.
+func SaveCampaignFile(path string, c *CampaignResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveCampaign(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// savedErr restores evaluation errors as opaque strings.
+type savedErr string
+
+func (e savedErr) Error() string { return string(e) }
+
+// LoadCampaign reads a campaign saved with SaveCampaign.  Individuals are
+// reconstructed with ranks/distances recomputed per generation, and
+// survivors resolve to the same objects as the evaluated individuals they
+// reference.
+func LoadCampaign(r io.Reader) (*CampaignResult, error) {
+	var sc savedCampaign
+	if err := json.NewDecoder(r).Decode(&sc); err != nil {
+		return nil, fmt.Errorf("hpo: decoding campaign: %w", err)
+	}
+	if sc.Format != campaignFormat {
+		return nil, fmt.Errorf("hpo: not a campaign file (format %q)", sc.Format)
+	}
+	if sc.Version != campaignVersion {
+		return nil, fmt.Errorf("hpo: unsupported campaign version %d", sc.Version)
+	}
+	out := &CampaignResult{}
+	for ri, sr := range sc.Runs {
+		run := &nsga2.Result{}
+		byID := map[string]*ea.Individual{}
+		for _, sg := range sr.Generations {
+			rec := nsga2.GenerationRecord{Gen: sg.Gen, Failures: sg.Failures}
+			for _, si := range sg.Evaluated {
+				id, err := uuid.Parse(si.ID)
+				if err != nil {
+					return nil, fmt.Errorf("hpo: run %d gen %d: %w", ri, sg.Gen, err)
+				}
+				ind := &ea.Individual{
+					ID:        id,
+					Genome:    si.Genome,
+					Fitness:   si.Fitness,
+					Evaluated: true,
+					Runtime:   time.Duration(si.RuntimeMS) * time.Millisecond,
+					Birth:     si.Birth,
+				}
+				if si.Err != "" {
+					ind.Err = savedErr(si.Err)
+				}
+				byID[si.ID] = ind
+				rec.Evaluated = append(rec.Evaluated, ind)
+			}
+			for _, sid := range sg.SurvivorIDs {
+				ind, ok := byID[sid]
+				if !ok {
+					return nil, fmt.Errorf("hpo: run %d gen %d: survivor %s not among evaluated", ri, sg.Gen, sid)
+				}
+				rec.Survivors = append(rec.Survivors, ind)
+			}
+			run.Generations = append(run.Generations, rec)
+		}
+		if n := len(run.Generations); n > 0 {
+			run.Final = run.Generations[n-1].Survivors
+			// Recompute ranks and crowding on the final population so the
+			// analyses that read them behave as after a live run.
+			fronts := nsga2.RankOrdinalSort(run.Final)
+			nsga2.CrowdingDistanceAll(fronts)
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+// LoadCampaignFile reads a campaign from path.
+func LoadCampaignFile(path string) (*CampaignResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCampaign(f)
+}

@@ -1,0 +1,155 @@
+package hpo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ea"
+)
+
+// persistEval is a cheap stand-in evaluator with occasional failures
+// (internal/surrogate cannot be imported here: it imports hpo).
+var persistEval = ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+	h, err := Decode(g)
+	if err != nil {
+		return nil, err
+	}
+	if math.Mod(h.RCut*1e6, 17) < 1 {
+		return nil, errors.New("sporadic crash")
+	}
+	return ea.Fitness{h.StartLR, 12 - h.RCut}, nil
+})
+
+func smallCampaign(t *testing.T) *CampaignResult {
+	t.Helper()
+	res, err := RunCampaign(context.Background(), CampaignConfig{
+		Runs: 2, PopSize: 15, Generations: 3,
+		Evaluator:   persistEval,
+		Parallelism: 4, AnnealFactor: 0.85, BaseSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignSaveLoadRoundTrip(t *testing.T) {
+	orig := smallCampaign(t)
+	var buf bytes.Buffer
+	if err := SaveCampaign(&buf, orig); err != nil {
+		t.Fatalf("SaveCampaign: %v", err)
+	}
+	got, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatalf("LoadCampaign: %v", err)
+	}
+	if len(got.Runs) != len(orig.Runs) {
+		t.Fatalf("runs %d != %d", len(got.Runs), len(orig.Runs))
+	}
+	if got.TotalEvaluations() != orig.TotalEvaluations() {
+		t.Errorf("evaluations %d != %d", got.TotalEvaluations(), orig.TotalEvaluations())
+	}
+	if got.TotalFailures() != orig.TotalFailures() {
+		t.Errorf("failures %d != %d", got.TotalFailures(), orig.TotalFailures())
+	}
+	// Spot-check an individual's full state.
+	oi := orig.Runs[0].Generations[1].Evaluated[3]
+	gi := got.Runs[0].Generations[1].Evaluated[3]
+	if oi.ID != gi.ID || oi.Birth != gi.Birth {
+		t.Error("identity fields lost")
+	}
+	for k := range oi.Genome {
+		if oi.Genome[k] != gi.Genome[k] {
+			t.Fatal("genome lost precision")
+		}
+	}
+	for k := range oi.Fitness {
+		if oi.Fitness[k] != gi.Fitness[k] {
+			t.Fatal("fitness lost precision (including MAXINT failures)")
+		}
+	}
+	// Frontier computed from the loaded campaign matches the original.
+	of := orig.ParetoFront()
+	gf := got.ParetoFront()
+	if len(of) != len(gf) {
+		t.Errorf("frontier size %d != %d after reload", len(gf), len(of))
+	}
+	// Survivors alias evaluated individuals (same object identity).
+	lastGen := got.Runs[0].Generations[len(got.Runs[0].Generations)-1]
+	found := false
+	for _, s := range lastGen.Survivors {
+		for _, e := range lastGen.Evaluated {
+			if s == e {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no survivor aliases a last-generation evaluation")
+	}
+}
+
+func TestCampaignSaveLoadFile(t *testing.T) {
+	orig := smallCampaign(t)
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := SaveCampaignFile(path, orig); err != nil {
+		t.Fatalf("SaveCampaignFile: %v", err)
+	}
+	got, err := LoadCampaignFile(path)
+	if err != nil {
+		t.Fatalf("LoadCampaignFile: %v", err)
+	}
+	if got.TotalEvaluations() != orig.TotalEvaluations() {
+		t.Error("file round trip lost evaluations")
+	}
+}
+
+func TestCampaignErrorsPreserved(t *testing.T) {
+	failing := ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+		return nil, errors.New("simulated node failure")
+	})
+	res, err := RunCampaign(context.Background(), CampaignConfig{
+		Runs: 1, PopSize: 4, Generations: 1,
+		Evaluator: failing, Parallelism: 2, BaseSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCampaign(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := got.Runs[0].Generations[0].Evaluated[0]
+	if ind.Err == nil || !strings.Contains(ind.Err.Error(), "node failure") {
+		t.Errorf("evaluation error not preserved: %v", ind.Err)
+	}
+	if !ind.Fitness.IsFailure() {
+		t.Error("failure fitness not preserved")
+	}
+}
+
+func TestLoadCampaignRejectsBadInput(t *testing.T) {
+	if _, err := LoadCampaign(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadCampaign(strings.NewReader(`{"format":"other","version":1}`)); err == nil {
+		t.Error("wrong format accepted")
+	}
+	if _, err := LoadCampaign(strings.NewReader(`{"format":"repro-hpo-campaign","version":99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	bad := `{"format":"repro-hpo-campaign","version":1,"runs":[{"generations":[
+	  {"gen":0,"evaluated":[],"survivor_ids":["00000000-0000-0000-0000-000000000000"],"failures":0}]}]}`
+	if _, err := LoadCampaign(strings.NewReader(bad)); err == nil {
+		t.Error("dangling survivor reference accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Package hpo implements the paper's hyperparameter-optimization campaign:
+// the seven-gene real-valued representation with Table 1's initialization
+// ranges and mutation standard deviations, the floor-modulus decoder that
+// maps real genes to categorical DeePMD settings (§2.2.2), the input.json
+// template substitution and UUID-directory evaluation workflow (§2.2.4),
+// and the generational NSGA-II campaign driver (§2.2.3).
+package hpo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ea"
+	"repro/internal/nn"
+)
+
+// Gene indices of the seven-element genome (§2.2.1).
+const (
+	GeneStartLR = iota
+	GeneStopLR
+	GeneRCut
+	GeneRCutSmth
+	GeneScaleByWorker
+	GeneDescActivFunc
+	GeneFittingActivFunc
+	NumGenes
+)
+
+// GeneNames lists the hyperparameter names in genome order.
+var GeneNames = [NumGenes]string{
+	"start_lr", "stop_lr", "rcut", "rcut_smth",
+	"scale_by_worker", "desc_activ_func", "fitting_activ_func",
+}
+
+// Representation bundles the paper's Table 1: per-gene initialization
+// ranges (also used as mutation hard bounds) and initial Gaussian-mutation
+// standard deviations.
+type Representation struct {
+	Bounds ea.Bounds
+	Std    []float64
+}
+
+// PaperRepresentation returns Table 1 exactly.
+func PaperRepresentation() Representation {
+	return Representation{
+		Bounds: ea.Bounds{
+			{Lo: 3.51e-8, Hi: 0.01},   // start_lr
+			{Lo: 3.51e-8, Hi: 0.0001}, // stop_lr
+			{Lo: 6.0, Hi: 12.0},       // rcut (Å)
+			{Lo: 2.0, Hi: 6.0},        // rcut_smth (Å)
+			{Lo: 0.0, Hi: 3.0},        // scale_by_worker (3 categories)
+			{Lo: 0.0, Hi: 5.0},        // desc_activ_func (5 categories)
+			{Lo: 0.0, Hi: 5.0},        // fitting_activ_func (5 categories)
+		},
+		Std: []float64{0.001, 0.0001, 0.0625, 0.0625, 0.0625, 0.0625, 0.0625},
+	}
+}
+
+// HParams is a decoded hyperparameter set: the phenotype the DeePMD
+// training actually consumes.
+type HParams struct {
+	StartLR       float64
+	StopLR        float64
+	RCut          float64
+	RCutSmth      float64
+	ScaleByWorker string // "linear", "sqrt", "none"
+	DescActiv     string // "relu", "relu6", "softplus", "sigmoid", "tanh"
+	FittingActiv  string
+}
+
+// String renders the parameters in Table 3's row order.
+func (h HParams) String() string {
+	return fmt.Sprintf("start_lr=%.4g stop_lr=%.4g rcut=%.2f rcut_smth=%.2f scale=%s desc=%s fit=%s",
+		h.StartLR, h.StopLR, h.RCut, h.RCutSmth, h.ScaleByWorker, h.DescActiv, h.FittingActiv)
+}
+
+// DecodeCategorical maps a real gene value to an index in a category set
+// of size n using the paper's rule: floor the float, then take the
+// modulus, so Gaussian mutation of real genes always lands on a valid
+// category (§2.2.2).  For example 5.78 with n=3 → floor → 5 → 5%3 = 2.
+func DecodeCategorical(gene float64, n int) int {
+	idx := int(math.Floor(gene)) % n
+	if idx < 0 {
+		idx += n
+	}
+	return idx
+}
+
+// Decode converts a seven-gene genome into hyperparameters.
+func Decode(g ea.Genome) (HParams, error) {
+	if len(g) != NumGenes {
+		return HParams{}, fmt.Errorf("hpo: genome has %d genes, want %d", len(g), NumGenes)
+	}
+	h := HParams{
+		StartLR:       g[GeneStartLR],
+		StopLR:        g[GeneStopLR],
+		RCut:          g[GeneRCut],
+		RCutSmth:      g[GeneRCutSmth],
+		ScaleByWorker: nn.ScaleSchemes[DecodeCategorical(g[GeneScaleByWorker], len(nn.ScaleSchemes))],
+		DescActiv:     nn.ActivationNames[DecodeCategorical(g[GeneDescActivFunc], len(nn.ActivationNames))],
+		FittingActiv:  nn.ActivationNames[DecodeCategorical(g[GeneFittingActivFunc], len(nn.ActivationNames))],
+	}
+	// DeePMD requires rcut_smth < rcut; the bounds guarantee it
+	// (max smth 6.0 = min rcut 6.0 only touches at the degenerate corner).
+	if h.RCutSmth >= h.RCut {
+		h.RCutSmth = h.RCut * 0.99
+	}
+	// stop_lr must not exceed start_lr for the exponential decay.
+	if h.StopLR > h.StartLR {
+		h.StopLR = h.StartLR
+	}
+	return h, nil
+}
+
+// Encode builds a genome whose decoding yields the given parameters, for
+// tests and for seeding campaigns with known configurations.  Categorical
+// fields map to the center of their first matching integer bin.
+func Encode(h HParams) (ea.Genome, error) {
+	scaleIdx := indexOf(nn.ScaleSchemes, h.ScaleByWorker)
+	descIdx := indexOf(nn.ActivationNames, h.DescActiv)
+	fitIdx := indexOf(nn.ActivationNames, h.FittingActiv)
+	if scaleIdx < 0 || descIdx < 0 || fitIdx < 0 {
+		return nil, fmt.Errorf("hpo: unknown categorical value in %v", h)
+	}
+	return ea.Genome{
+		h.StartLR, h.StopLR, h.RCut, h.RCutSmth,
+		float64(scaleIdx) + 0.5, float64(descIdx) + 0.5, float64(fitIdx) + 0.5,
+	}, nil
+}
+
+func indexOf(list []string, v string) int {
+	for i, s := range list {
+		if s == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,92 @@
+package hpo
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/ea"
+	"repro/internal/nsga2"
+)
+
+// ResumeCampaign continues a finished (or walltime-killed) campaign for
+// moreGens additional generations per run: the operational pattern behind
+// the paper's 12-hour Summit batch jobs (§2.2.5), where long campaigns
+// must span multiple submissions.  Each run warm-starts from its final
+// surviving population, and the mutation σ resumes from its annealed
+// value (σ₀ · anneal^gensAlreadyRun).  The returned result contains the
+// original generations followed by the new ones with continued indices.
+func ResumeCampaign(ctx context.Context, prev *CampaignResult, cfg CampaignConfig, moreGens int) (*CampaignResult, error) {
+	if prev == nil || len(prev.Runs) == 0 {
+		return nil, fmt.Errorf("hpo: nothing to resume")
+	}
+	if moreGens <= 0 {
+		return nil, fmt.Errorf("hpo: moreGens must be positive")
+	}
+	rep := cfg.Representation
+	if rep.Bounds == nil {
+		rep = PaperRepresentation()
+	}
+	anneal := cfg.AnnealFactor
+	if anneal == 0 {
+		anneal = 0.85
+	}
+
+	out := &CampaignResult{}
+	for runIdx, run := range prev.Runs {
+		if len(run.Final) == 0 {
+			return nil, fmt.Errorf("hpo: run %d has no final population", runIdx)
+		}
+		gensDone := len(run.Generations) - 1
+		if gensDone < 0 {
+			gensDone = 0
+		}
+		std := make([]float64, len(rep.Std))
+		decay := math.Pow(anneal, float64(gensDone))
+		for i, s := range rep.Std {
+			std[i] = s * decay
+		}
+		popSize := cfg.PopSize
+		if popSize == 0 {
+			popSize = len(run.Final)
+		}
+		if popSize != len(run.Final) {
+			return nil, fmt.Errorf("hpo: run %d final population %d != PopSize %d",
+				runIdx, len(run.Final), popSize)
+		}
+		res, err := nsga2.Run(ctx, nsga2.Config{
+			PopSize:      popSize,
+			Generations:  moreGens,
+			Bounds:       rep.Bounds,
+			InitialStd:   std,
+			AnnealFactor: anneal,
+			Evaluator:    cfg.Evaluator,
+			Pool:         poolFromConfig(cfg),
+			Seed:         cfg.BaseSeed + int64(runIdx) + 7919, // decorrelate from the first leg
+			Initial:      run.Final,
+		})
+		if err != nil {
+			return out, fmt.Errorf("hpo: resuming run %d: %w", runIdx, err)
+		}
+		// Stitch: original generations, then the new offspring generations
+		// (the warm-start "generation 0" duplicates the previous final
+		// population and is dropped).
+		combined := &nsga2.Result{}
+		combined.Generations = append(combined.Generations, run.Generations...)
+		for _, rec := range res.Generations[1:] {
+			rec.Gen = gensDone + rec.Gen
+			combined.Generations = append(combined.Generations, rec)
+		}
+		combined.Final = res.Final
+		out.Runs = append(out.Runs, combined)
+	}
+	return out, nil
+}
+
+func poolFromConfig(cfg CampaignConfig) ea.PoolConfig {
+	return ea.PoolConfig{
+		Parallelism: cfg.Parallelism,
+		Timeout:     cfg.EvalTimeout,
+		Objectives:  2,
+	}
+}

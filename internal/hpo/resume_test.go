@@ -1,0 +1,118 @@
+package hpo
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/ea"
+	"repro/internal/nsga2"
+)
+
+func TestResumeCampaignContinuesRuns(t *testing.T) {
+	cfg := CampaignConfig{
+		Runs: 2, PopSize: 15, Generations: 2,
+		Evaluator:   persistEval,
+		Parallelism: 4, AnnealFactor: 0.85, BaseSeed: 21,
+	}
+	first, err := RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCampaign(context.Background(), first, cfg, 3)
+	if err != nil {
+		t.Fatalf("ResumeCampaign: %v", err)
+	}
+	if len(resumed.Runs) != 2 {
+		t.Fatalf("resumed %d runs", len(resumed.Runs))
+	}
+	for r, run := range resumed.Runs {
+		if len(run.Generations) != 3+3 {
+			t.Errorf("run %d has %d generation records, want 6", r, len(run.Generations))
+		}
+		for g, rec := range run.Generations {
+			if rec.Gen != g {
+				t.Errorf("run %d record %d has Gen %d (indices must continue)", r, g, rec.Gen)
+			}
+		}
+		if len(run.Final) != 15 {
+			t.Errorf("run %d final population %d", r, len(run.Final))
+		}
+	}
+	// Resumption adds evaluations: 2 runs × 3 gens × 15.
+	want := first.TotalEvaluations() + 2*3*15
+	if got := resumed.TotalEvaluations(); got != want {
+		t.Errorf("TotalEvaluations = %d, want %d", got, want)
+	}
+}
+
+func TestResumeImprovesOrMaintainsFrontier(t *testing.T) {
+	cfg := CampaignConfig{
+		Runs: 1, PopSize: 20, Generations: 2,
+		Evaluator:   persistEval,
+		Parallelism: 4, AnnealFactor: 0.9, BaseSeed: 5,
+	}
+	first, err := RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCampaign(context.Background(), first, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// persistEval's objectives live in (0, 0.01] × (0, 6).
+	ref := ea.Fitness{0.02, 7}
+	hvFirst := nsga2.Hypervolume2D(first.LastGenerations(), ref)
+	hvResumed := nsga2.Hypervolume2D(resumed.LastGenerations(), ref)
+	if hvResumed < hvFirst-1e-12 {
+		t.Errorf("resume degraded frontier: %v -> %v (elitist selection forbids this)", hvFirst, hvResumed)
+	}
+}
+
+func TestResumeRoundTripThroughPersistence(t *testing.T) {
+	// The real workflow: job 1 runs, saves; job 2 loads, resumes.
+	cfg := CampaignConfig{
+		Runs: 1, PopSize: 10, Generations: 1,
+		Evaluator: persistEval, Parallelism: 2, BaseSeed: 9,
+	}
+	first, err := RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCampaign(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCampaign(context.Background(), loaded, cfg, 2)
+	if err != nil {
+		t.Fatalf("resume after load: %v", err)
+	}
+	if resumed.TotalEvaluations() != 10*2+10*2 {
+		t.Errorf("evaluations = %d", resumed.TotalEvaluations())
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	cfg := CampaignConfig{Runs: 1, PopSize: 10, Evaluator: persistEval, BaseSeed: 1}
+	if _, err := ResumeCampaign(context.Background(), nil, cfg, 2); err == nil {
+		t.Error("nil campaign accepted")
+	}
+	first, err := RunCampaign(context.Background(), CampaignConfig{
+		Runs: 1, PopSize: 10, Generations: 1, Evaluator: persistEval, BaseSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCampaign(context.Background(), first, cfg, 0); err == nil {
+		t.Error("moreGens=0 accepted")
+	}
+	badCfg := cfg
+	badCfg.PopSize = 99
+	if _, err := ResumeCampaign(context.Background(), first, badCfg, 1); err == nil {
+		t.Error("population size mismatch accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package hpo
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// DefaultInputTemplate is the JSON-formatted input template the workflow
+// substitutes hyperparameters into (§2.2.4 item 3).  Placeholders use
+// Python string.Template syntax ($name / ${name}) because that is the
+// mechanism the paper's scripts used; Substitute implements the same
+// rules.  The fixed values (embedding {25,50,100}, fitting {240,240,240},
+// loss prefactors 0.02/1000/1/1) match §2.1.2.
+const DefaultInputTemplate = `{
+  "model": {
+    "type_map": ["Al", "K", "Cl"],
+    "descriptor": {
+      "type": "se_e2_a",
+      "rcut": $rcut,
+      "rcut_smth": $rcut_smth,
+      "neuron": [25, 50, 100],
+      "axis_neuron": 4,
+      "activation_function": "$desc_activ_func"
+    },
+    "fitting_net": {
+      "neuron": [240, 240, 240],
+      "activation_function": "$fitting_activ_func"
+    }
+  },
+  "learning_rate": {
+    "type": "exp",
+    "start_lr": $start_lr,
+    "stop_lr": $stop_lr,
+    "scale_by_worker": "$scale_by_worker"
+  },
+  "loss": {
+    "start_pref_e": 0.02,
+    "limit_pref_e": 1,
+    "start_pref_f": 1000,
+    "limit_pref_f": 1
+  },
+  "training": {
+    "numb_steps": $numb_steps,
+    "batch_size": 1,
+    "seed": $seed,
+    "disp_freq": $disp_freq,
+    "systems": ["$train_dir"],
+    "validation_data": {"systems": ["$val_dir"]}
+  }
+}
+`
+
+// Substitute performs Python string.Template-style substitution: $name and
+// ${name} are replaced from vars; $$ escapes a literal dollar.  Unknown
+// placeholders are an error, mirroring Template.substitute's strictness.
+func Substitute(template string, vars map[string]string) (string, error) {
+	var b strings.Builder
+	i := 0
+	for i < len(template) {
+		c := template[i]
+		if c != '$' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 < len(template) && template[i+1] == '$' {
+			b.WriteByte('$')
+			i += 2
+			continue
+		}
+		j := i + 1
+		braced := j < len(template) && template[j] == '{'
+		if braced {
+			j++
+		}
+		start := j
+		for j < len(template) && isIdentChar(template[j]) {
+			if j == start && isDigit(template[j]) {
+				break // identifiers cannot start with a digit
+			}
+			j++
+		}
+		name := template[start:j]
+		if braced {
+			if j >= len(template) || template[j] != '}' {
+				return "", fmt.Errorf("hpo: unterminated ${ in template at offset %d", i)
+			}
+			j++
+		}
+		if name == "" {
+			return "", fmt.Errorf("hpo: lone $ at offset %d (use $$ for a literal)", i)
+		}
+		val, ok := vars[name]
+		if !ok {
+			return "", fmt.Errorf("hpo: template placeholder $%s has no value", name)
+		}
+		b.WriteString(val)
+		i = j
+	}
+	return b.String(), nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// TemplateVars builds the substitution map for a decoded hyperparameter
+// set plus run-time settings.
+func TemplateVars(h HParams, steps, dispFreq int, seed int64, trainDir, valDir string) map[string]string {
+	return map[string]string{
+		"start_lr":           strconv.FormatFloat(h.StartLR, 'g', -1, 64),
+		"stop_lr":            strconv.FormatFloat(h.StopLR, 'g', -1, 64),
+		"rcut":               strconv.FormatFloat(h.RCut, 'g', -1, 64),
+		"rcut_smth":          strconv.FormatFloat(h.RCutSmth, 'g', -1, 64),
+		"scale_by_worker":    h.ScaleByWorker,
+		"desc_activ_func":    h.DescActiv,
+		"fitting_activ_func": h.FittingActiv,
+		"numb_steps":         strconv.Itoa(steps),
+		"disp_freq":          strconv.Itoa(dispFreq),
+		"seed":               strconv.FormatInt(seed, 10),
+		"train_dir":          trainDir,
+		"val_dir":            valDir,
+	}
+}
+
+// RenderInput substitutes hyperparameters into a template (falling back to
+// DefaultInputTemplate when template is empty) and returns the input.json
+// text.
+func RenderInput(template string, vars map[string]string) (string, error) {
+	if template == "" {
+		template = DefaultInputTemplate
+	}
+	return Substitute(template, vars)
+}
+
+// WriteInput renders and writes input.json into dir.
+func WriteInput(dir, template string, vars map[string]string) (string, error) {
+	text, err := RenderInput(template, vars)
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + "input.json"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

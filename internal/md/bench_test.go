@@ -1,0 +1,63 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkForceComputeAblation compares the cell-list neighbour search
+// against the O(N²) pair loop on the paper's 160-atom system — the
+// ablation justifying cell lists in the data-generation substrate.
+func BenchmarkForceComputeAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sys := NewSystem(rng, PaperComposition(), 17.84, 498)
+	for _, brute := range []bool{false, true} {
+		name := "celllist"
+		if brute {
+			name = "bruteforce"
+		}
+		b.Run(name, func(b *testing.B) {
+			pot := NewPaperBMH(5.0)
+			pot.SetBruteForce(brute)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pot.Compute(sys)
+			}
+		})
+	}
+}
+
+func BenchmarkMDStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	sys := NewSystem(rng, PaperComposition(), 17.84, 498)
+	pot := NewPaperBMH(5.0)
+	it := NewIntegrator(pot, Berendsen{T: 498, Tau: 50}, 0.5)
+	pot.Compute(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Step(sys)
+	}
+}
+
+func BenchmarkMDStepBySystemSize(b *testing.B) {
+	for _, mult := range []int{1, 2, 4} {
+		var species []Species
+		for i := 0; i < mult; i++ {
+			species = append(species, PaperComposition()...)
+		}
+		box := 17.84 * math.Cbrt(float64(mult))
+		b.Run(fmt.Sprintf("atoms=%d", len(species)), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			sys := NewSystem(rng, species, box, 498)
+			pot := NewPaperBMH(5.0)
+			it := NewIntegrator(pot, nil, 0.5)
+			pot.Compute(sys)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it.Step(sys)
+			}
+		})
+	}
+}

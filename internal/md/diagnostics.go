@@ -1,0 +1,157 @@
+package md
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSD accumulates mean-squared displacement over a trajectory, tracking
+// unwrapped coordinates so periodic wrapping does not truncate paths.
+// Molten salts are liquids: a linear MSD(t) (finite diffusion constant)
+// distinguishes a proper melt from a glassy or frozen configuration, the
+// basic sanity check on the training data the paper generates at 498 K.
+type MSD struct {
+	species  Species
+	origin   []Vec3 // positions at t0, unwrapped
+	unwrap   []Vec3 // current unwrapped positions
+	prev     []Vec3 // previous wrapped positions, to detect jumps
+	times    []float64
+	values   []float64
+	selected []int
+	started  bool
+}
+
+// NewMSD creates an accumulator for one species (use -1 for all atoms).
+func NewMSD(sp Species) *MSD { return &MSD{species: sp} }
+
+// Start records the reference frame.
+func (m *MSD) Start(sys *System) {
+	m.selected = m.selected[:0]
+	for i, s := range sys.Species {
+		if m.species < 0 || s == m.species {
+			m.selected = append(m.selected, i)
+		}
+	}
+	n := len(m.selected)
+	m.origin = make([]Vec3, n)
+	m.unwrap = make([]Vec3, n)
+	m.prev = make([]Vec3, n)
+	for k, i := range m.selected {
+		m.origin[k] = sys.Pos[i]
+		m.unwrap[k] = sys.Pos[i]
+		m.prev[k] = sys.Pos[i]
+	}
+	m.times = m.times[:0]
+	m.values = m.values[:0]
+	m.started = true
+}
+
+// Sample records MSD at time t (fs).  Positions are unwrapped by
+// minimum-image continuity, valid when atoms move less than half a box
+// between samples.
+func (m *MSD) Sample(sys *System, t float64) {
+	if !m.started {
+		m.Start(sys)
+	}
+	sum := 0.0
+	for k, i := range m.selected {
+		d := sys.Pos[i].Sub(m.prev[k])
+		d = sys.Wrap(d)
+		m.unwrap[k] = m.unwrap[k].Add(d)
+		m.prev[k] = sys.Pos[i]
+		disp := m.unwrap[k].Sub(m.origin[k])
+		sum += disp.Dot(disp)
+	}
+	m.times = append(m.times, t)
+	m.values = append(m.values, sum/float64(len(m.selected)))
+}
+
+// Series returns the sampled (t, MSD) pairs in Å² vs fs.
+func (m *MSD) Series() (times, msd []float64) { return m.times, m.values }
+
+// DiffusionCoefficient estimates D from the Einstein relation using a
+// least-squares slope over the second half of the series (the first half
+// is ballistic/transient): D = slope / 6, in Å²/fs.
+func (m *MSD) DiffusionCoefficient() (float64, error) {
+	n := len(m.times)
+	if n < 4 {
+		return 0, fmt.Errorf("md: need at least 4 MSD samples, have %d", n)
+	}
+	lo := n / 2
+	slope, err := lsSlope(m.times[lo:], m.values[lo:])
+	if err != nil {
+		return 0, err
+	}
+	return slope / 6, nil
+}
+
+// lsSlope is the ordinary least-squares slope of y on x.
+func lsSlope(x, y []float64) (float64, error) {
+	n := float64(len(x))
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, fmt.Errorf("md: bad series for slope")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("md: degenerate time series")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}
+
+// VACF accumulates the normalized velocity autocorrelation function from
+// a stored reference frame: C(t) = ⟨v(0)·v(t)⟩ / ⟨v(0)·v(0)⟩.
+type VACF struct {
+	v0     []Vec3
+	norm   float64
+	times  []float64
+	values []float64
+}
+
+// Start stores the reference velocities.
+func (v *VACF) Start(sys *System) {
+	v.v0 = append(v.v0[:0], sys.Vel...)
+	v.norm = 0
+	for _, vel := range v.v0 {
+		v.norm += vel.Dot(vel)
+	}
+	v.times = v.times[:0]
+	v.values = v.values[:0]
+}
+
+// Sample records C(t).
+func (v *VACF) Sample(sys *System, t float64) {
+	if v.v0 == nil {
+		v.Start(sys)
+	}
+	c := 0.0
+	for i, vel := range sys.Vel {
+		c += vel.Dot(v.v0[i])
+	}
+	if v.norm > 0 {
+		c /= v.norm
+	}
+	v.times = append(v.times, t)
+	v.values = append(v.values, c)
+}
+
+// Series returns the sampled (t, C) pairs.
+func (v *VACF) Series() (times, c []float64) { return v.times, v.values }
+
+// DecayTime returns the first time at which C(t) falls below 1/e, or NaN
+// if it never does within the sampled window.
+func (v *VACF) DecayTime() float64 {
+	const inv = 1 / math.E
+	for i, c := range v.values {
+		if c < inv {
+			return v.times[i]
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,45 @@
+package md
+
+import "math"
+
+// NoseHoover is a single-chain Nosé–Hoover thermostat: a deterministic
+// canonical-ensemble thermostat with its own dynamical friction variable,
+// the standard choice for production NVT molecular dynamics (Berendsen
+// rescaling does not sample the canonical ensemble; Langevin destroys
+// dynamics).  Q is the thermostat "mass" in eV·fs²; larger Q couples more
+// weakly.
+type NoseHoover struct {
+	T float64 // target temperature, K
+	Q float64 // thermostat inertia, eV·fs²
+	// xi is the friction coefficient (1/fs), evolved by the thermostat's
+	// own equation of motion.
+	xi float64
+}
+
+// NewNoseHoover builds a thermostat with a relaxation time tau (fs): the
+// conventional parameterization Q = N_dof·k_B·T·τ².
+func NewNoseHoover(T, tau float64, nAtoms int) *NoseHoover {
+	dof := float64(3*nAtoms - 3)
+	return &NoseHoover{T: T, Q: dof * BoltzmannEV * T * tau * tau}
+}
+
+// Xi exposes the current friction value (diagnostics).
+func (nh *NoseHoover) Xi() float64 { return nh.xi }
+
+// Apply implements Thermostat with a first-order splitting: update xi
+// from the instantaneous kinetic energy, then scale velocities by
+// exp(−xi·dt).
+func (nh *NoseHoover) Apply(sys *System, dt float64) {
+	dof := float64(3*sys.N() - 3)
+	if dof <= 0 || nh.Q <= 0 {
+		return
+	}
+	ke := sys.KineticEnergy()
+	target := 0.5 * dof * BoltzmannEV * nh.T
+	// dxi/dt = (2·KE − 2·KE_target) / Q
+	nh.xi += dt * (2*ke - 2*target) / nh.Q
+	scale := math.Exp(-nh.xi * dt)
+	for i := range sys.Vel {
+		sys.Vel[i] = sys.Vel[i].Scale(scale)
+	}
+}

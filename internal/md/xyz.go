@@ -1,0 +1,140 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteXYZ appends one frame in extended-XYZ format: atom count, a
+// comment line carrying the cubic lattice and the potential energy, then
+// one "Symbol x y z fx fy fz" line per atom.  The format is readable by
+// standard visualization tools (OVITO, VMD, ASE) — how trajectories from
+// this engine get inspected.
+func WriteXYZ(w io.Writer, sys *System) error {
+	if _, err := fmt.Fprintf(w, "%d\n", sys.N()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"Lattice=\"%g 0 0 0 %g 0 0 0 %g\" Properties=species:S:1:pos:R:3:forces:R:3 energy=%.10g\n",
+		sys.Box, sys.Box, sys.Box, sys.PotEng)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sys.N(); i++ {
+		p, f := sys.Pos[i], sys.Frc[i]
+		_, err := fmt.Fprintf(w, "%-2s %15.8f %15.8f %15.8f %15.8f %15.8f %15.8f\n",
+			sys.Species[i], p[0], p[1], p[2], f[0], f[1], f[2])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XYZFrame is one parsed extended-XYZ frame.
+type XYZFrame struct {
+	Species []Species
+	Pos     []Vec3
+	Frc     []Vec3
+	Box     float64
+	Energy  float64
+}
+
+// ReadXYZ parses all frames from an extended-XYZ stream written by
+// WriteXYZ.
+func ReadXYZ(r io.Reader) ([]XYZFrame, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var frames []XYZFrame
+	for sc.Scan() {
+		countLine := strings.TrimSpace(sc.Text())
+		if countLine == "" {
+			continue
+		}
+		n, err := strconv.Atoi(countLine)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("md: bad xyz atom count %q", countLine)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("md: xyz truncated before comment line")
+		}
+		frame := XYZFrame{}
+		comment := sc.Text()
+		frame.Box, frame.Energy, err = parseXYZComment(comment)
+		if err != nil {
+			return nil, err
+		}
+		for a := 0; a < n; a++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("md: xyz truncated at atom %d", a)
+			}
+			fields := strings.Fields(sc.Text())
+			if len(fields) < 7 {
+				return nil, fmt.Errorf("md: xyz atom line has %d fields, want 7", len(fields))
+			}
+			sp, err := SpeciesBySymbol(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, 6)
+			for k := 0; k < 6; k++ {
+				vals[k], err = strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("md: bad xyz number %q: %w", fields[k+1], err)
+				}
+			}
+			frame.Species = append(frame.Species, sp)
+			frame.Pos = append(frame.Pos, Vec3{vals[0], vals[1], vals[2]})
+			frame.Frc = append(frame.Frc, Vec3{vals[3], vals[4], vals[5]})
+		}
+		frames = append(frames, frame)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
+// parseXYZComment extracts the cubic box side and energy.
+func parseXYZComment(line string) (box, energy float64, err error) {
+	if i := strings.Index(line, `Lattice="`); i >= 0 {
+		rest := line[i+len(`Lattice="`):]
+		if j := strings.IndexByte(rest, '"'); j >= 0 {
+			fields := strings.Fields(rest[:j])
+			if len(fields) == 9 {
+				box, err = strconv.ParseFloat(fields[0], 64)
+				if err != nil {
+					return 0, 0, fmt.Errorf("md: bad xyz lattice: %w", err)
+				}
+			}
+		}
+	}
+	if i := strings.Index(line, "energy="); i >= 0 {
+		rest := line[i+len("energy="):]
+		end := strings.IndexAny(rest, " \t")
+		if end < 0 {
+			end = len(rest)
+		}
+		energy, err = strconv.ParseFloat(rest[:end], 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("md: bad xyz energy: %w", err)
+		}
+	}
+	return box, energy, nil
+}
+
+// SpeciesBySymbol resolves an element symbol.
+func SpeciesBySymbol(sym string) (Species, error) {
+	switch sym {
+	case "Al":
+		return Al, nil
+	case "K":
+		return K, nil
+	case "Cl":
+		return Cl, nil
+	}
+	return 0, fmt.Errorf("md: unknown species symbol %q", sym)
+}

@@ -1,0 +1,80 @@
+package md
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestXYZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys := NewSystem(rng, []Species{Al, K, Cl, Cl}, 8.0, 300)
+	pot := NewPaperBMH(4.0)
+	pot.Compute(sys)
+
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, sys); err != nil {
+		t.Fatalf("WriteXYZ: %v", err)
+	}
+	// Advance and write a second frame.
+	it := NewIntegrator(pot, nil, 0.5)
+	it.Run(sys, 5, 0, nil)
+	if err := WriteXYZ(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+
+	frames, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatalf("ReadXYZ: %v", err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2", len(frames))
+	}
+	f := frames[1]
+	if len(f.Species) != 4 || f.Species[0] != Al || f.Species[3] != Cl {
+		t.Errorf("species = %v", f.Species)
+	}
+	if f.Box != 8.0 {
+		t.Errorf("box = %v", f.Box)
+	}
+	if math.Abs(f.Energy-sys.PotEng) > 1e-8 {
+		t.Errorf("energy = %v, want %v", f.Energy, sys.PotEng)
+	}
+	for i := range f.Pos {
+		if f.Pos[i].Sub(sys.Pos[i]).Norm() > 1e-7 {
+			t.Fatalf("position %d mismatch", i)
+		}
+		if f.Frc[i].Sub(sys.Frc[i]).Norm() > 1e-7 {
+			t.Fatalf("force %d mismatch", i)
+		}
+	}
+}
+
+func TestReadXYZRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"x\n",
+		"2\ncomment only\nAl 0 0 0 0 0 0\n", // truncated
+		"1\nLattice=\"8 0 0 0 8 0 0 0 8\" energy=1\nXx 0 0 0 0 0 0\n", // unknown species
+		"1\nLattice=\"8 0 0 0 8 0 0 0 8\" energy=1\nAl 0 0\n",         // short line
+		"1\nLattice=\"8 0 0 0 8 0 0 0 8\" energy=abc\nAl 0 0 0 0 0 0\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadXYZ(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSpeciesBySymbol(t *testing.T) {
+	for _, sp := range []Species{Al, K, Cl} {
+		got, err := SpeciesBySymbol(sp.String())
+		if err != nil || got != sp {
+			t.Errorf("SpeciesBySymbol(%v) = %v, %v", sp, got, err)
+		}
+	}
+	if _, err := SpeciesBySymbol("Na"); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package nas
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ea"
+	"repro/internal/surrogate"
+)
+
+// Evaluator scores 11-gene NAS genomes: the base Summit surrogate handles
+// the seven training hyperparameters, and a capacity model adjusts the
+// losses and runtime for the searched architecture.
+//
+// Capacity model (relative to the paper's fixed architecture):
+//
+//   - Under-capacity: networks much smaller than the paper's cannot fit
+//     the potential — losses grow with the log of the parameter deficit.
+//   - Over-capacity: mild accuracy gains with strong diminishing returns,
+//     and a small overfitting penalty on the energy objective beyond ~4×
+//     (the training set is fixed at 40k steps).
+//   - Runtime: scales with the architecture's parameter count, so NAS
+//     trades accuracy against time — exactly the implicit runtime
+//     objective of §2.2.
+type Evaluator struct {
+	Base *surrogate.Evaluator
+	// refParams is the paper architecture's parameter estimate.
+	refParams float64
+}
+
+// NewEvaluator builds the NAS surrogate.
+func NewEvaluator(cfg surrogate.Config) *Evaluator {
+	return &Evaluator{
+		Base:      surrogate.NewEvaluator(cfg),
+		refParams: float64(PaperArchitecture().ParamCountEstimate()),
+	}
+}
+
+// Evaluate implements ea.Evaluator for 11-gene genomes.
+func (e *Evaluator) Evaluate(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+	res, err := e.EvaluateGenome(g)
+	if err != nil {
+		return nil, err
+	}
+	if res.Failed {
+		return nil, fmt.Errorf("nas: training failed after %v", res.Runtime)
+	}
+	return ea.Fitness{res.EnergyLoss, res.ForceLoss}, nil
+}
+
+// EvaluateGenome decodes and scores an 11-gene genome deterministically.
+func (e *Evaluator) EvaluateGenome(g ea.Genome) (surrogate.Result, error) {
+	p, err := Decode(g)
+	if err != nil {
+		return surrogate.Result{}, err
+	}
+	return e.adjust(p, g)
+}
+
+// hpo7 is the prefix length holding the paper's original seven genes.
+const hpo7 = 7
+
+// adjust applies the capacity model on top of the base surrogate.
+func (e *Evaluator) adjust(p Params, g ea.Genome) (surrogate.Result, error) {
+	base, err := e.Base.EvaluateGenome(g[:hpo7])
+	if err != nil {
+		return surrogate.Result{}, err
+	}
+	if base.Failed {
+		return base, nil
+	}
+	ratio := float64(p.ParamCountEstimate()) / e.refParams
+
+	forceF, energyF := 1.0, 1.0
+	if ratio < 1 {
+		// Deficit: log-quadratic penalty.  A 10× smaller net roughly
+		// doubles the force error and triples the energy error.
+		d := math.Log10(1 / ratio)
+		forceF += 0.45*d*d + 0.15*d
+		energyF += 1.1*d*d + 0.3*d
+	} else {
+		// Surplus: diminishing-return gains saturating at ≈7 % (force)
+		// and ≈12 % (energy), then an overfit penalty past ~4×.
+		s := math.Log10(ratio)
+		forceF -= 0.07 * (1 - math.Exp(-2.2*s))
+		energyF -= 0.12 * (1 - math.Exp(-2.2*s))
+		if ratio > 4 {
+			energyF += 0.08 * (math.Log10(ratio / 4)) * 4
+		}
+	}
+	base.ForceLoss = math.Max(base.ForceLoss*forceF, 0.031)
+	base.EnergyLoss = math.Max(base.EnergyLoss*energyF, 0.0003)
+
+	// Runtime: roughly 45 % of the training time is network compute that
+	// scales with parameter count; the rest is descriptor/neighbour work.
+	rtScale := 0.55 + 0.45*ratio
+	base.Runtime = time.Duration(float64(base.Runtime) * rtScale)
+	return base, nil
+}

@@ -1,0 +1,223 @@
+package nas
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ea"
+	"repro/internal/hpo"
+	"repro/internal/surrogate"
+)
+
+func paperHParams() hpo.HParams {
+	return hpo.HParams{
+		StartLR: 0.0047, StopLR: 0.0001, RCut: 11.32, RCutSmth: 2.42,
+		ScaleByWorker: "none", DescActiv: "tanh", FittingActiv: "tanh",
+	}
+}
+
+func TestPaperArchitectureSizes(t *testing.T) {
+	p := PaperArchitecture()
+	emb := p.EmbeddingSizes()
+	if len(emb) != 3 || emb[0] != 25 || emb[1] != 50 || emb[2] != 100 {
+		t.Errorf("EmbeddingSizes = %v, want [25 50 100]", emb)
+	}
+	fit := p.FittingSizes()
+	if len(fit) != 3 || fit[0] != 240 || fit[2] != 240 {
+		t.Errorf("FittingSizes = %v, want [240 240 240]", fit)
+	}
+	if p.ParamCountEstimate() < 100000 {
+		t.Errorf("paper architecture param estimate %d suspiciously small", p.ParamCountEstimate())
+	}
+}
+
+func TestRepresentationShape(t *testing.T) {
+	bounds, std := Representation()
+	if len(bounds) != NumGenes || len(std) != NumGenes || NumGenes != 11 {
+		t.Fatalf("representation arity %d/%d, want 11", len(bounds), len(std))
+	}
+	// First seven genes must equal Table 1.
+	rep := hpo.PaperRepresentation()
+	for g := 0; g < hpo.NumGenes; g++ {
+		if bounds[g] != rep.Bounds[g] || std[g] != rep.Std[g] {
+			t.Errorf("gene %d diverges from Table 1", g)
+		}
+	}
+	if GeneNames[GeneEmbWidth] != "emb_width" || GeneNames[GeneFitDepth] != "fit_depth" {
+		t.Error("gene names wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Params{
+		{HParams: paperHParams(), EmbWidth: 100, EmbDepth: 3, FitWidth: 240, FitDepth: 3},
+		{HParams: paperHParams(), EmbWidth: 16, EmbDepth: 1, FitWidth: 32, FitDepth: 2},
+		{HParams: paperHParams(), EmbWidth: 256, EmbDepth: 2, FitWidth: 512, FitDepth: 1},
+	}
+	for _, p := range cases {
+		g, err := Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", p, err)
+		}
+		got, err := Decode(g)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got != p {
+			t.Errorf("round trip: got %+v, want %+v", got, p)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	if _, err := Decode(make(ea.Genome, 7)); err == nil {
+		t.Error("7-gene genome accepted by NAS decoder")
+	}
+}
+
+func TestDecodeRandomGenomesValid(t *testing.T) {
+	bounds, _ := Representation()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		p, err := Decode(bounds.Sample(rng))
+		if err != nil {
+			t.Fatalf("Decode random: %v", err)
+		}
+		if p.EmbDepth < 1 || p.EmbDepth > 3 || p.FitDepth < 1 || p.FitDepth > 3 {
+			t.Errorf("depths out of range: %+v", p)
+		}
+		if p.EmbWidth < 4 || p.FitWidth < 4 {
+			t.Errorf("widths below floor: %+v", p)
+		}
+		if len(p.EmbeddingSizes()) != p.EmbDepth || len(p.FittingSizes()) != p.FitDepth {
+			t.Error("size expansion arity wrong")
+		}
+	}
+}
+
+func evalParams(t *testing.T, e *Evaluator, p Params) surrogate.Result {
+	t.Helper()
+	g, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.EvaluateGenome(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCapacityUnderfitPenalty(t *testing.T) {
+	e := NewEvaluator(surrogate.Config{Seed: 1, NoiseScale: -1, DisableFailures: true})
+	full := evalParams(t, e, Params{HParams: paperHParams(), EmbWidth: 100, EmbDepth: 3, FitWidth: 240, FitDepth: 3})
+	tiny := evalParams(t, e, Params{HParams: paperHParams(), EmbWidth: 8, EmbDepth: 1, FitWidth: 16, FitDepth: 1})
+	if tiny.ForceLoss <= full.ForceLoss*1.2 {
+		t.Errorf("tiny architecture force %v not clearly worse than full %v", tiny.ForceLoss, full.ForceLoss)
+	}
+	if tiny.EnergyLoss <= full.EnergyLoss {
+		t.Errorf("tiny architecture energy %v not worse than full %v", tiny.EnergyLoss, full.EnergyLoss)
+	}
+}
+
+func TestCapacityDiminishingReturns(t *testing.T) {
+	e := NewEvaluator(surrogate.Config{Seed: 1, NoiseScale: -1, DisableFailures: true})
+	full := evalParams(t, e, PaperArchitectureWith(paperHParams()))
+	big := evalParams(t, e, Params{HParams: paperHParams(), EmbWidth: 200, EmbDepth: 3, FitWidth: 480, FitDepth: 3})
+	// Bigger may be slightly better, but not dramatically.
+	if big.ForceLoss > full.ForceLoss {
+		t.Errorf("2× architecture force %v worse than paper %v", big.ForceLoss, full.ForceLoss)
+	}
+	if big.ForceLoss < full.ForceLoss*0.85 {
+		t.Errorf("2× architecture improves force by >15%%: %v vs %v (no free lunch expected)",
+			big.ForceLoss, full.ForceLoss)
+	}
+	if big.Runtime <= full.Runtime {
+		t.Errorf("2× architecture runtime %v not above paper %v", big.Runtime, full.Runtime)
+	}
+}
+
+func TestPaperArchitectureMatchesBaseSurrogate(t *testing.T) {
+	// With the paper's architecture the NAS evaluator must reduce to the
+	// base surrogate (capacity ratio 1 ⇒ no adjustment).
+	cfg := surrogate.Config{Seed: 1, NoiseScale: -1, DisableFailures: true}
+	e := NewEvaluator(cfg)
+	base := surrogate.NewEvaluator(cfg)
+	p := PaperArchitectureWith(paperHParams())
+	g, _ := Encode(p)
+	nasRes, err := e.EvaluateGenome(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.EvaluateGenome(g[:hpo7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(nasRes.ForceLoss, baseRes.ForceLoss) > 0.02 {
+		t.Errorf("NAS at paper architecture force %v != base %v", nasRes.ForceLoss, baseRes.ForceLoss)
+	}
+	if relDiff(nasRes.EnergyLoss, baseRes.EnergyLoss) > 0.02 {
+		t.Errorf("NAS at paper architecture energy %v != base %v", nasRes.EnergyLoss, baseRes.EnergyLoss)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+// PaperArchitectureWith combines the paper's architecture with training
+// hyperparameters.
+func PaperArchitectureWith(h hpo.HParams) Params {
+	p := PaperArchitecture()
+	p.HParams = h
+	return p
+}
+
+func TestCompareCampaigns(t *testing.T) {
+	res, err := Compare(context.Background(), CompareConfig{
+		Runs: 2, PopSize: 40, Generations: 5, Seed: 9, Parallelism: 8,
+	})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if res.FixedHV <= 0 || res.NASHV <= 0 {
+		t.Fatalf("hypervolumes %v / %v", res.FixedHV, res.NASHV)
+	}
+	// The search space strictly contains the fixed one, and the capacity
+	// model offers real gains, so NAS should match or beat the baseline.
+	if res.NASHV < res.FixedHV*0.98 {
+		t.Errorf("NAS hypervolume %v well below fixed %v", res.NASHV, res.FixedHV)
+	}
+	if len(res.BestNASParams) == 0 {
+		t.Error("no decoded NAS frontier architectures")
+	}
+	text := res.Render()
+	if !strings.Contains(text, "hypervolume") || !strings.Contains(text, "emb=") {
+		t.Errorf("render incomplete:\n%s", text)
+	}
+}
+
+func TestNASEvaluatorFailuresPropagate(t *testing.T) {
+	e := NewEvaluator(surrogate.Config{Seed: 3})
+	h := paperHParams()
+	h.StartLR = 0.01
+	h.ScaleByWorker = "linear"
+	p := PaperArchitectureWith(h)
+	sawError := false
+	for i := 0; i < 400 && !sawError; i++ {
+		g, _ := Encode(p)
+		g[hpo.GeneRCut] = 6 + 6*rand.New(rand.NewSource(int64(i))).Float64()
+		if _, err := e.Evaluate(context.Background(), g); err != nil {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Error("no failure surfaced through the NAS evaluator")
+	}
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFittingNetForward measures the paper's fitting network
+// ({240,240,240} on a 400-dim descriptor) forward pass.
+func BenchmarkFittingNetForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 400, []int{240, 240, 240}, 1, Tanh)
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkFittingNetBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 400, []int{240, 240, 240}, 1, Tanh)
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	_, tape := m.Forward(x)
+	dy := []float64{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Backward(tape, dy)
+	}
+}
+
+// BenchmarkActivations compares the five tunable activations — the cost
+// differences feed the surrogate's runtime model.
+func BenchmarkActivations(b *testing.B) {
+	for _, act := range []Activation{ReLU, ReLU6, Softplus, Sigmoid, Tanh} {
+		b.Run(act.Name(), func(b *testing.B) {
+			sink := 0.0
+			for i := 0; i < b.N; i++ {
+				x := float64(i%200)/20 - 5
+				sink += act.Apply(x) + act.Deriv(x)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 400, []int{240, 240, 240}, 1, Tanh)
+	params := m.Params()
+	for _, pg := range params {
+		for i := range pg.Grad {
+			pg.Grad[i] = rng.NormFloat64()
+		}
+	}
+	opt := NewAdam()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(params, 1e-3)
+	}
+}

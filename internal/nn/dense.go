@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected layer y = act(W·x + b) with weights stored
+// row-major: W[out][in] at index out*In + in.
+type Dense struct {
+	In, Out int
+	W       []float64 // len In*Out
+	B       []float64 // len Out
+	Act     Activation
+
+	// Gradient accumulators, same shapes as W and B.
+	GradW []float64
+	GradB []float64
+}
+
+// NewDense creates a layer with Glorot/Xavier-uniform initialized weights,
+// the TensorFlow default DeePMD-kit inherits.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense shape %dx%d", in, out))
+	}
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W: make([]float64, in*out), B: make([]float64, out),
+		GradW: make([]float64, in*out), GradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (2*rng.Float64() - 1) * limit
+	}
+	return d
+}
+
+// trace holds per-sample state needed for backprop.
+type trace struct {
+	input  []float64
+	preact []float64
+}
+
+// Forward computes the layer output for input x, returning the output and
+// a trace for Backward.  The trace keeps Forward re-entrant so a single
+// layer can serve many atoms in one configuration.
+func (d *Dense) Forward(x []float64) (out []float64, tr *trace) {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense input %d, want %d", len(x), d.In))
+	}
+	pre := make([]float64, d.Out)
+	out = make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		pre[o] = s
+		out[o] = d.Act.Apply(s)
+	}
+	in := make([]float64, len(x))
+	copy(in, x)
+	return out, &trace{input: in, preact: pre}
+}
+
+// Backward accumulates parameter gradients given the upstream gradient
+// dL/dy and returns dL/dx.  Call ZeroGrad before a new minibatch.
+func (d *Dense) Backward(tr *trace, dy []float64) (dx []float64) {
+	if len(dy) != d.Out {
+		panic(fmt.Sprintf("nn: dense upstream grad %d, want %d", len(dy), d.Out))
+	}
+	dx = make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o] * d.Act.Deriv(tr.preact[o])
+		d.GradB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.GradW[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * tr.input[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// InputGrad returns dL/dx without touching the parameter-gradient
+// accumulators; used for force evaluation at inference time where only the
+// energy gradient with respect to coordinates is needed.
+func (d *Dense) InputGrad(tr *trace, dy []float64) (dx []float64) {
+	dx = make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o] * d.Act.Deriv(tr.preact[o])
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// ZeroGrad clears the gradient accumulators.
+func (d *Dense) ZeroGrad() {
+	for i := range d.GradW {
+		d.GradW[i] = 0
+	}
+	for i := range d.GradB {
+		d.GradB[i] = 0
+	}
+}
+
+// ParamCount returns the number of trainable parameters.
+func (d *Dense) ParamCount() int { return len(d.W) + len(d.B) }
+
+// MLP is a feed-forward stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds a network with the given hidden sizes and activation,
+// ending in a linear layer of outDim units.  hidden may be empty.  This
+// mirrors DeePMD's fitting network: hidden layers share one activation and
+// the output is linear.
+func NewMLP(rng *rand.Rand, inDim int, hidden []int, outDim int, act Activation) *MLP {
+	m := &MLP{}
+	prev := inDim
+	for _, h := range hidden {
+		m.Layers = append(m.Layers, NewDense(rng, prev, h, act))
+		prev = h
+	}
+	m.Layers = append(m.Layers, NewDense(rng, prev, outDim, Identity))
+	return m
+}
+
+// Tape records the traces of one forward pass so the matching backward
+// pass can be replayed.
+type Tape struct {
+	traces []*trace
+}
+
+// Forward runs the network on x and returns the output plus a tape.
+func (m *MLP) Forward(x []float64) ([]float64, *Tape) {
+	tape := &Tape{traces: make([]*trace, len(m.Layers))}
+	cur := x
+	for i, l := range m.Layers {
+		var tr *trace
+		cur, tr = l.Forward(cur)
+		tape.traces[i] = tr
+	}
+	return cur, tape
+}
+
+// Backward accumulates parameter gradients for the recorded pass and
+// returns the gradient with respect to the network input.
+func (m *MLP) Backward(tape *Tape, dy []float64) []float64 {
+	cur := dy
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		cur = m.Layers[i].Backward(tape.traces[i], cur)
+	}
+	return cur
+}
+
+// InputGrad returns dL/dx for the recorded pass without accumulating
+// parameter gradients.
+func (m *MLP) InputGrad(tape *Tape, dy []float64) []float64 {
+	cur := dy
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		cur = m.Layers[i].InputGrad(tape.traces[i], cur)
+	}
+	return cur
+}
+
+// ZeroGrad clears every layer's gradient accumulators.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.ParamCount()
+	}
+	return n
+}
+
+// Params returns views of every parameter slice paired with its gradient
+// accumulator, in a stable order, for optimizers and allreduce.
+func (m *MLP) Params() []ParamGrad {
+	var out []ParamGrad
+	for _, l := range m.Layers {
+		out = append(out, ParamGrad{Param: l.W, Grad: l.GradW}, ParamGrad{Param: l.B, Grad: l.GradB})
+	}
+	return out
+}
+
+// ParamGrad pairs a parameter slice with its gradient accumulator.  Both
+// slices alias layer storage, so optimizer updates are visible in place.
+type ParamGrad struct {
+	Param []float64
+	Grad  []float64
+}

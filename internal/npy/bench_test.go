@@ -1,0 +1,37 @@
+package npy
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkWrite(b *testing.B) {
+	a := NewArray(1000, 480) // one set of 1000 frames × 3N coords
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	b.SetBytes(int64(8 * len(a.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	a := NewArray(1000, 480)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(8 * len(a.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package npy reads and writes NumPy .npy files (format version 1.0).
+//
+// The paper's training data was converted to "energy, force, box values in
+// Numpy arrays" for DeePMD consumption (§2.1.3).  This package provides the
+// same interchange format so that datasets written by the Go MD engine have
+// the exact on-disk layout DeePMD-style trainers expect.
+//
+// Supported dtypes: float64 ("<f8"), float32 ("<f4") and int64 ("<i8"),
+// C-contiguous only, which covers every array the DeePMD data pipeline uses.
+package npy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// magic is the 6-byte .npy magic string followed by version 1.0.
+var magic = []byte{0x93, 'N', 'U', 'M', 'P', 'Y', 0x01, 0x00}
+
+// Array is an n-dimensional array in C (row-major) order.
+type Array struct {
+	Shape []int     // dimension sizes, outermost first
+	Data  []float64 // flattened values, len == product(Shape)
+}
+
+// NewArray allocates a zero-filled array with the given shape.
+func NewArray(shape ...int) *Array {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	return &Array{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// Len returns the total number of elements.
+func (a *Array) Len() int {
+	n := 1
+	for _, s := range a.Shape {
+		n *= s
+	}
+	return n
+}
+
+// At returns the element at the given multi-index.
+func (a *Array) At(idx ...int) float64 {
+	return a.Data[a.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (a *Array) Set(v float64, idx ...int) {
+	a.Data[a.offset(idx)] = v
+}
+
+func (a *Array) offset(idx []int) int {
+	if len(idx) != len(a.Shape) {
+		panic(fmt.Sprintf("npy: index rank %d != array rank %d", len(idx), len(a.Shape)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= a.Shape[d] {
+			panic(fmt.Sprintf("npy: index %d out of range for dim %d (size %d)", i, d, a.Shape[d]))
+		}
+		off = off*a.Shape[d] + i
+	}
+	return off
+}
+
+// Write serializes the array as float64 ("<f8") .npy data.
+func Write(w io.Writer, a *Array) error {
+	if a.Len() != len(a.Data) {
+		return fmt.Errorf("npy: shape %v implies %d elements, have %d", a.Shape, a.Len(), len(a.Data))
+	}
+	if err := writeHeader(w, "<f8", a.Shape); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(a.Data))
+	for i, v := range a.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func writeHeader(w io.Writer, descr string, shape []int) error {
+	dims := make([]string, len(shape))
+	for i, s := range shape {
+		dims[i] = strconv.Itoa(s)
+	}
+	shapeStr := strings.Join(dims, ", ")
+	if len(shape) == 1 {
+		shapeStr += ","
+	}
+	header := fmt.Sprintf("{'descr': '%s', 'fortran_order': False, 'shape': (%s), }", descr, shapeStr)
+	// Pad so that magic+2-byte length+header is a multiple of 64, ending in \n.
+	total := len(magic) + 2 + len(header) + 1
+	pad := (64 - total%64) % 64
+	header += strings.Repeat(" ", pad) + "\n"
+	if len(header) > 65535 {
+		return errors.New("npy: header too long for format 1.0")
+	}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
+	if _, err := w.Write(hlen[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, header)
+	return err
+}
+
+// Read parses a .npy stream holding a float64, float32 or int64 array.
+// Non-float64 data is converted to float64.
+func Read(r io.Reader) (*Array, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("npy: reading magic: %w", err)
+	}
+	for i := 0; i < 6; i++ {
+		if head[i] != magic[i] {
+			return nil, errors.New("npy: bad magic string")
+		}
+	}
+	if head[6] != 1 {
+		return nil, fmt.Errorf("npy: unsupported format version %d.%d", head[6], head[7])
+	}
+	var hlen [2]byte
+	if _, err := io.ReadFull(br, hlen[:]); err != nil {
+		return nil, fmt.Errorf("npy: reading header length: %w", err)
+	}
+	header := make([]byte, binary.LittleEndian.Uint16(hlen[:]))
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("npy: reading header: %w", err)
+	}
+	descr, fortran, shape, err := parseHeader(string(header))
+	if err != nil {
+		return nil, err
+	}
+	if fortran {
+		return nil, errors.New("npy: fortran_order arrays are not supported")
+	}
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	a := &Array{Shape: shape, Data: make([]float64, n)}
+	switch descr {
+	case "<f8":
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("npy: reading payload: %w", err)
+		}
+		for i := range a.Data {
+			a.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	case "<f4":
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("npy: reading payload: %w", err)
+		}
+		for i := range a.Data {
+			a.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	case "<i8":
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("npy: reading payload: %w", err)
+		}
+		for i := range a.Data {
+			a.Data[i] = float64(int64(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	default:
+		return nil, fmt.Errorf("npy: unsupported dtype %q", descr)
+	}
+	return a, nil
+}
+
+// parseHeader extracts descr, fortran_order and shape from the Python-dict
+// literal header of a v1.0 .npy file.
+func parseHeader(h string) (descr string, fortran bool, shape []int, err error) {
+	h = strings.TrimSpace(h)
+	get := func(key string) (string, error) {
+		i := strings.Index(h, "'"+key+"'")
+		if i < 0 {
+			return "", fmt.Errorf("npy: header missing key %q", key)
+		}
+		rest := h[i+len(key)+2:]
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			return "", fmt.Errorf("npy: malformed header near %q", key)
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+		return rest, nil
+	}
+
+	dv, err := get("descr")
+	if err != nil {
+		return "", false, nil, err
+	}
+	if len(dv) < 2 || dv[0] != '\'' {
+		return "", false, nil, errors.New("npy: malformed descr")
+	}
+	end := strings.IndexByte(dv[1:], '\'')
+	if end < 0 {
+		return "", false, nil, errors.New("npy: malformed descr")
+	}
+	descr = dv[1 : 1+end]
+
+	fv, err := get("fortran_order")
+	if err != nil {
+		return "", false, nil, err
+	}
+	fortran = strings.HasPrefix(fv, "True")
+
+	sv, err := get("shape")
+	if err != nil {
+		return "", false, nil, err
+	}
+	open := strings.IndexByte(sv, '(')
+	closeIdx := strings.IndexByte(sv, ')')
+	if open < 0 || closeIdx < open {
+		return "", false, nil, errors.New("npy: malformed shape")
+	}
+	inner := sv[open+1 : closeIdx]
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, convErr := strconv.Atoi(part)
+		if convErr != nil {
+			return "", false, nil, fmt.Errorf("npy: bad shape entry %q", part)
+		}
+		if d < 0 {
+			return "", false, nil, fmt.Errorf("npy: negative dimension %d", d)
+		}
+		shape = append(shape, d)
+	}
+	if shape == nil {
+		shape = []int{} // 0-d scalar array
+	}
+	return descr, fortran, shape, nil
+}
+
+// WriteFile writes the array to path, creating or truncating it.
+func WriteFile(path string, a *Array) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := Write(bw, a); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a .npy file from path.
+func ReadFile(path string) (*Array, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,230 @@
+package npy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip1D(t *testing.T) {
+	a := &Array{Shape: []int{5}, Data: []float64{1, 2, 3, -4.5, 1e-9}}
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got.Shape) != 1 || got.Shape[0] != 5 {
+		t.Fatalf("shape = %v, want [5]", got.Shape)
+	}
+	for i := range a.Data {
+		if got.Data[i] != a.Data[i] {
+			t.Errorf("Data[%d] = %v, want %v", i, got.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	a := NewArray(3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(float64(i*10+j), i, j)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Shape[0] != 3 || got.Shape[1] != 4 {
+		t.Fatalf("shape = %v, want [3 4]", got.Shape)
+	}
+	if got.At(2, 3) != 23 {
+		t.Errorf("At(2,3) = %v, want 23", got.At(2, 3))
+	}
+}
+
+func TestHeaderPaddingAligned(t *testing.T) {
+	a := NewArray(7)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw := buf.Bytes()
+	hlen := int(binary.LittleEndian.Uint16(raw[8:10]))
+	if (10+hlen)%64 != 0 {
+		t.Errorf("header block size %d not a multiple of 64", 10+hlen)
+	}
+	if raw[10+hlen-1] != '\n' {
+		t.Errorf("header does not end in newline")
+	}
+}
+
+func TestReadFloat32(t *testing.T) {
+	// Hand-construct a little <f4 file.
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, "<f4", []int{2}); err != nil {
+		t.Fatalf("writeHeader: %v", err)
+	}
+	var payload [8]byte
+	binary.LittleEndian.PutUint32(payload[0:], math.Float32bits(1.5))
+	binary.LittleEndian.PutUint32(payload[4:], math.Float32bits(-2.25))
+	buf.Write(payload[:])
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Data[0] != 1.5 || got.Data[1] != -2.25 {
+		t.Errorf("Data = %v, want [1.5 -2.25]", got.Data)
+	}
+}
+
+func TestReadInt64(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, "<i8", []int{3}); err != nil {
+		t.Fatalf("writeHeader: %v", err)
+	}
+	var payload [24]byte
+	binary.LittleEndian.PutUint64(payload[0:], uint64(7))
+	binary.LittleEndian.PutUint64(payload[8:], ^uint64(0)) // -1
+	binary.LittleEndian.PutUint64(payload[16:], uint64(42))
+	buf.Write(payload[:])
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	want := []float64{7, -1, 42}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Errorf("Data[%d] = %v, want %v", i, got.Data[i], want[i])
+		}
+	}
+}
+
+func TestRejectBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a npy file at all..."))); err == nil {
+		t.Error("Read of garbage succeeded, want error")
+	}
+}
+
+func TestRejectFortranOrder(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	header := "{'descr': '<f8', 'fortran_order': True, 'shape': (2,), }\n"
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
+	buf.Write(hlen[:])
+	buf.WriteString(header)
+	buf.Write(make([]byte, 16))
+	if _, err := Read(&buf); err == nil {
+		t.Error("Read of fortran-order file succeeded, want error")
+	}
+}
+
+func TestRejectUnknownDtype(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, "<c16", []int{1}); err != nil {
+		t.Fatalf("writeHeader: %v", err)
+	}
+	buf.Write(make([]byte, 16))
+	if _, err := Read(&buf); err == nil {
+		t.Error("Read of complex dtype succeeded, want error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "energy.npy")
+	a := &Array{Shape: []int{2, 2}, Data: []float64{1, 2, 3, 4}}
+	if err := WriteFile(path, a); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", got.At(1, 0))
+	}
+}
+
+func TestWriteShapeMismatch(t *testing.T) {
+	a := &Array{Shape: []int{10}, Data: []float64{1, 2}}
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err == nil {
+		t.Error("Write with mismatched shape succeeded, want error")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []float64) bool {
+		// Replace NaN with 0 since NaN != NaN would fail equality below;
+		// bit-exactness for NaN is checked separately.
+		a := &Array{Shape: []int{len(data)}, Data: data}
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaNBitExact(t *testing.T) {
+	a := &Array{Shape: []int{1}, Data: []float64{math.NaN()}}
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !math.IsNaN(got.Data[0]) {
+		t.Errorf("NaN did not survive round trip: %v", got.Data[0])
+	}
+}
+
+func TestZeroLengthArray(t *testing.T) {
+	a := NewArray(0)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", got.Len())
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	a := NewArray(2, 2)
+	a.At(2, 0)
+}

@@ -1,0 +1,61 @@
+package nsga2
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ea"
+)
+
+// CrowdingDistance assigns Deb's crowding distance to every member of a
+// single front, writing Individual.Distance.  Boundary solutions on each
+// objective receive +Inf so they are always preferred; interior solutions
+// accumulate the normalized side-length of the cuboid spanned by their
+// neighbours.  A front of one or two members gets +Inf everywhere.
+func CrowdingDistance(front ea.Population) {
+	n := len(front)
+	if n == 0 {
+		return
+	}
+	for _, ind := range front {
+		ind.Distance = 0
+	}
+	if n <= 2 {
+		for _, ind := range front {
+			ind.Distance = math.Inf(1)
+		}
+		return
+	}
+	m := len(front[0].Fitness)
+	idx := make([]int, n)
+	for obj := 0; obj < m; obj++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return front[idx[a]].Fitness[obj] < front[idx[b]].Fitness[obj]
+		})
+		lo := front[idx[0]].Fitness[obj]
+		hi := front[idx[n-1]].Fitness[obj]
+		front[idx[0]].Distance = math.Inf(1)
+		front[idx[n-1]].Distance = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue // degenerate objective: contributes nothing
+		}
+		for k := 1; k < n-1; k++ {
+			ind := front[idx[k]]
+			if math.IsInf(ind.Distance, 1) {
+				continue
+			}
+			ind.Distance += (front[idx[k+1]].Fitness[obj] - front[idx[k-1]].Fitness[obj]) / span
+		}
+	}
+}
+
+// CrowdingDistanceAll runs CrowdingDistance over every front.
+func CrowdingDistanceAll(fronts []ea.Population) {
+	for _, f := range fronts {
+		CrowdingDistance(f)
+	}
+}

@@ -1,0 +1,65 @@
+// Package nsga2 implements the NSGA-II multiobjective evolutionary
+// algorithm of Deb et al. (2002) as deployed in the paper: fast
+// non-dominated sorting, the rank-ordinal sorting speed-up of Burlacu
+// (2022) that the authors adopted (§2.1.4), crowding-distance assignment,
+// and truncation selection keyed on (rank, crowding distance).  All
+// objectives are minimized.
+package nsga2
+
+import "repro/internal/ea"
+
+// Dominates reports whether fitness a Pareto-dominates fitness b under
+// minimization: a is no worse on every objective and strictly better on at
+// least one.
+func Dominates(a, b ea.Fitness) bool {
+	if len(a) != len(b) {
+		panic("nsga2: fitness dimension mismatch")
+	}
+	strict := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Equal reports whether two fitnesses are identical on every objective.
+func Equal(a, b ea.Fitness) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonDominated filters pop down to its Pareto-optimal subset: members not
+// dominated by any other member.  This is what the paper computes over the
+// aggregated last generations of all runs to obtain the final frontier
+// (Fig. 2).  Duplicated fitnesses are all retained.
+func NonDominated(pop ea.Population) ea.Population {
+	var front ea.Population
+	for i, cand := range pop {
+		dominated := false
+		for j, other := range pop {
+			if i == j {
+				continue
+			}
+			if Dominates(other.Fitness, cand.Fitness) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, cand)
+		}
+	}
+	return front
+}

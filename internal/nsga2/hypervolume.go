@@ -1,0 +1,125 @@
+package nsga2
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ea"
+)
+
+// Hypervolume2D computes the exact hypervolume indicator of a
+// bi-objective population relative to a reference point (both objectives
+// minimized; the reference must be weakly worse than every member).
+// Dominated members contribute nothing, so passing a whole population is
+// fine.  Hypervolume is the standard scalar measure of multiobjective
+// convergence+diversity; the per-generation table of Fig. 1 uses it to
+// quantify what the level plots show visually.
+func Hypervolume2D(pop ea.Population, ref ea.Fitness) float64 {
+	if len(ref) != 2 {
+		panic("nsga2: Hypervolume2D needs a 2-objective reference")
+	}
+	// Collect members that dominate the reference region.
+	var pts [][2]float64
+	for _, ind := range pop {
+		f := ind.Fitness
+		if len(f) != 2 || f.IsFailure() {
+			continue
+		}
+		if f[0] < ref[0] && f[1] < ref[1] {
+			pts = append(pts, [2]float64{f[0], f[1]})
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	// Keep only the non-dominated staircase: sort by f0 asc, f1 asc; keep
+	// points with strictly decreasing f1.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	var stair [][2]float64
+	bestF1 := ref[1]
+	for _, p := range pts {
+		if p[1] < bestF1 {
+			stair = append(stair, p)
+			bestF1 = p[1]
+		}
+	}
+	// Sweep: each step contributes (next_f0 − f0) × (ref1 − f1).
+	hv := 0.0
+	for i, p := range stair {
+		next := ref[0]
+		if i+1 < len(stair) {
+			next = stair[i+1][0]
+		}
+		hv += (next - p[0]) * (ref[1] - p[1])
+	}
+	return hv
+}
+
+// HypervolumeMC estimates the hypervolume of an m-objective population by
+// Monte Carlo sampling of the box [ideal, ref], where ideal is the
+// componentwise minimum of the population.  Deterministic for a given
+// seed.  Use Hypervolume2D for the exact bi-objective value.
+func HypervolumeMC(pop ea.Population, ref ea.Fitness, samples int, seed int64) float64 {
+	m := len(ref)
+	ideal := make(ea.Fitness, m)
+	copy(ideal, ref)
+	var front ea.Population
+	for _, ind := range pop {
+		f := ind.Fitness
+		if len(f) != m || f.IsFailure() {
+			continue
+		}
+		inside := true
+		for k := range f {
+			if f[k] >= ref[k] {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		front = append(front, ind)
+		for k := range f {
+			if f[k] < ideal[k] {
+				ideal[k] = f[k]
+			}
+		}
+	}
+	if len(front) == 0 || samples <= 0 {
+		return 0
+	}
+	front = NonDominated(front)
+
+	rng := rand.New(rand.NewSource(seed))
+	hit := 0
+	point := make(ea.Fitness, m)
+	for s := 0; s < samples; s++ {
+		for k := 0; k < m; k++ {
+			point[k] = ideal[k] + rng.Float64()*(ref[k]-ideal[k])
+		}
+		for _, ind := range front {
+			dominates := true
+			for k := 0; k < m; k++ {
+				if ind.Fitness[k] > point[k] {
+					dominates = false
+					break
+				}
+			}
+			if dominates {
+				hit++
+				break
+			}
+		}
+	}
+	vol := 1.0
+	for k := 0; k < m; k++ {
+		vol *= ref[k] - ideal[k]
+	}
+	return vol * float64(hit) / float64(samples)
+}

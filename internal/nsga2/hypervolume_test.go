@@ -1,0 +1,107 @@
+package nsga2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ea"
+)
+
+func TestHypervolume2DSinglePoint(t *testing.T) {
+	pop := popFrom(ea.Fitness{1, 1})
+	// Box from (1,1) to (3,3): area 4.
+	if got := Hypervolume2D(pop, ea.Fitness{3, 3}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("HV = %v, want 4", got)
+	}
+}
+
+func TestHypervolume2DStaircase(t *testing.T) {
+	pop := popFrom(
+		ea.Fitness{1, 3},
+		ea.Fitness{2, 2},
+		ea.Fitness{3, 1},
+	)
+	// ref (4,4): contributions (2-1)(4-3)+(3-2)(4-2)+(4-3)(4-1) = 1+2+3 = 6.
+	if got := Hypervolume2D(pop, ea.Fitness{4, 4}); math.Abs(got-6) > 1e-12 {
+		t.Errorf("HV = %v, want 6", got)
+	}
+}
+
+func TestHypervolume2DIgnoresDominatedAndFailures(t *testing.T) {
+	pop := popFrom(
+		ea.Fitness{1, 1},
+		ea.Fitness{2, 2}, // dominated: no extra volume
+		ea.FailureFitness(2),
+		ea.Fitness{5, 5}, // outside reference
+	)
+	if got := Hypervolume2D(pop, ea.Fitness{3, 3}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("HV = %v, want 4", got)
+	}
+}
+
+func TestHypervolume2DEmpty(t *testing.T) {
+	if got := Hypervolume2D(nil, ea.Fitness{1, 1}); got != 0 {
+		t.Errorf("HV(empty) = %v", got)
+	}
+	pop := popFrom(ea.Fitness{2, 2})
+	if got := Hypervolume2D(pop, ea.Fitness{1, 1}); got != 0 {
+		t.Errorf("HV with all points outside ref = %v", got)
+	}
+}
+
+func TestHypervolume2DMonotoneUnderImprovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := ea.Fitness{1, 1}
+	pop := ea.Population{}
+	prev := 0.0
+	for i := 0; i < 50; i++ {
+		pop = append(pop, &ea.Individual{Fitness: ea.Fitness{rng.Float64(), rng.Float64()}})
+		hv := Hypervolume2D(pop, ref)
+		if hv < prev-1e-12 {
+			t.Fatalf("hypervolume decreased when adding a point: %v -> %v", prev, hv)
+		}
+		prev = hv
+	}
+}
+
+func TestHypervolume2DDuplicateF0(t *testing.T) {
+	pop := popFrom(ea.Fitness{1, 2}, ea.Fitness{1, 1})
+	// Only (1,1) matters: area (3-1)*(3-1) = 4.
+	if got := Hypervolume2D(pop, ea.Fitness{3, 3}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("HV = %v, want 4", got)
+	}
+}
+
+func TestHypervolumeMCMatchesExact2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pop := make(ea.Population, 30)
+	for i := range pop {
+		pop[i] = &ea.Individual{Fitness: ea.Fitness{rng.Float64(), rng.Float64()}}
+	}
+	ref := ea.Fitness{1, 1}
+	exact := Hypervolume2D(pop, ref)
+	mc := HypervolumeMC(pop, ref, 200000, 3)
+	if math.Abs(mc-exact) > 0.02*(exact+0.01) {
+		t.Errorf("MC HV %v, exact %v", mc, exact)
+	}
+}
+
+func TestHypervolumeMCDeterministic(t *testing.T) {
+	pop := popFrom(ea.Fitness{0.2, 0.3, 0.4}, ea.Fitness{0.5, 0.1, 0.2})
+	ref := ea.Fitness{1, 1, 1}
+	a := HypervolumeMC(pop, ref, 10000, 7)
+	b := HypervolumeMC(pop, ref, 10000, 7)
+	if a != b {
+		t.Errorf("same seed gave %v and %v", a, b)
+	}
+	if a <= 0 {
+		t.Errorf("3-objective HV = %v, want positive", a)
+	}
+}
+
+func TestHypervolumeMCEmpty(t *testing.T) {
+	if got := HypervolumeMC(nil, ea.Fitness{1, 1}, 100, 1); got != 0 {
+		t.Errorf("HV(empty) = %v", got)
+	}
+}

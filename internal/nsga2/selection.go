@@ -1,0 +1,43 @@
+package nsga2
+
+import (
+	"sort"
+
+	"repro/internal/ea"
+)
+
+// TruncationSelect keeps the best n individuals ordered by ascending rank
+// and, within a rank, descending crowding distance — the paper's
+// ops.truncation_selection(key=lambda x: (-x.rank, x.distance)) expressed
+// for minimization of rank.  Rank and Distance must already be assigned
+// (via a sort function and CrowdingDistanceAll).  The input is not
+// modified; the result is a fresh slice.
+func TruncationSelect(pop ea.Population, n int) ea.Population {
+	if n > len(pop) {
+		n = len(pop)
+	}
+	sorted := pop.Clone()
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Rank != sorted[b].Rank {
+			return sorted[a].Rank < sorted[b].Rank
+		}
+		return sorted[a].Distance > sorted[b].Distance
+	})
+	return sorted[:n]
+}
+
+// SortFunc selects which non-dominated sorting implementation the
+// generational loop uses; the ablation benchmarks compare them.
+type SortFunc func(ea.Population) []ea.Population
+
+// Select runs the full NSGA-II environmental-selection step on a combined
+// parent+offspring population: non-dominated sort, crowding distance, then
+// truncation to n survivors.
+func Select(pop ea.Population, n int, sortFn SortFunc) ea.Population {
+	if sortFn == nil {
+		sortFn = RankOrdinalSort
+	}
+	fronts := sortFn(pop)
+	CrowdingDistanceAll(fronts)
+	return TruncationSelect(pop, n)
+}

@@ -1,0 +1,38 @@
+package nsga2
+
+import (
+	"math/rand"
+
+	"repro/internal/ea"
+)
+
+// TournamentSelection yields parents chosen by binary crowded-comparison
+// tournaments — the canonical NSGA-II parent selection (lower rank wins;
+// ties broken by larger crowding distance).  The paper uses plain random
+// selection instead (§2.2.3); this operator enables the ablation.  Rank
+// and Distance must be assigned on the population (they are after any
+// Select call).
+func TournamentSelection(rng *rand.Rand, pop ea.Population) ea.Stream {
+	if len(pop) == 0 {
+		return func() (*ea.Individual, bool) { return nil, false }
+	}
+	return func() (*ea.Individual, bool) {
+		a := pop[rng.Intn(len(pop))]
+		b := pop[rng.Intn(len(pop))]
+		return CrowdedBetter(a, b), true
+	}
+}
+
+// CrowdedBetter returns the winner of the crowded-comparison operator.
+func CrowdedBetter(a, b *ea.Individual) *ea.Individual {
+	if a.Rank != b.Rank {
+		if a.Rank < b.Rank {
+			return a
+		}
+		return b
+	}
+	if a.Distance >= b.Distance {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package nsga2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ea"
+)
+
+func TestCrowdedBetter(t *testing.T) {
+	better := &ea.Individual{Rank: 0, Distance: 0.1}
+	worse := &ea.Individual{Rank: 1, Distance: math.Inf(1)}
+	if CrowdedBetter(better, worse) != better {
+		t.Error("lower rank did not win")
+	}
+	a := &ea.Individual{Rank: 0, Distance: 2}
+	b := &ea.Individual{Rank: 0, Distance: 1}
+	if CrowdedBetter(a, b) != a || CrowdedBetter(b, a) != a {
+		t.Error("larger crowding distance did not win on tie")
+	}
+}
+
+func TestTournamentPrefersBetterRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop := ea.Population{
+		{Rank: 0, Distance: 1},
+		{Rank: 2, Distance: 1},
+	}
+	sel := TournamentSelection(rng, pop)
+	wins := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		ind, ok := sel()
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		if ind == pop[0] {
+			wins++
+		}
+	}
+	// P(best selected) = P(both draws hit worse)ᶜ = 1 − 1/4 = 0.75.
+	rate := float64(wins) / n
+	if rate < 0.70 || rate > 0.80 {
+		t.Errorf("best-individual selection rate %v, want ≈0.75", rate)
+	}
+}
+
+func TestTournamentEmptyPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sel := TournamentSelection(rng, nil)
+	if _, ok := sel(); ok {
+		t.Error("empty population yielded an individual")
+	}
+}

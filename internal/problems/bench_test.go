@@ -1,0 +1,26 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkZDT1Eval(b *testing.B) {
+	p := ZDT1(30)
+	rng := rand.New(rand.NewSource(1))
+	g := p.Bounds.Sample(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Eval(g)
+	}
+}
+
+func BenchmarkDTLZ2Eval(b *testing.B) {
+	p := DTLZ2(12, 3)
+	rng := rand.New(rand.NewSource(2))
+	g := p.Bounds.Sample(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Eval(g)
+	}
+}

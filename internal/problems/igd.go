@@ -1,0 +1,51 @@
+package problems
+
+import (
+	"math"
+
+	"repro/internal/ea"
+)
+
+// ReferenceFront samples n points on a problem's analytic Pareto front
+// (bi-objective problems with a TrueFront only).
+func (p *Problem) ReferenceFront(n int) [][2]float64 {
+	if p.TrueFront == nil || n < 2 {
+		return nil
+	}
+	out := make([][2]float64, n)
+	lo, hi := p.FrontF1Range.Lo, p.FrontF1Range.Hi
+	for i := 0; i < n; i++ {
+		f1 := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = [2]float64{f1, p.TrueFront(f1)}
+	}
+	return out
+}
+
+// IGD computes the inverted generational distance of a population against
+// a reference front: the mean Euclidean distance from each reference
+// point to its nearest population member.  Lower is better; it penalizes
+// both poor convergence and poor coverage, complementing hypervolume in
+// the NSGA-II validation suite.
+func IGD(pop ea.Population, ref [][2]float64) float64 {
+	if len(ref) == 0 || len(pop) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, r := range ref {
+		best := math.Inf(1)
+		for _, ind := range pop {
+			f := ind.Fitness
+			if len(f) != 2 || f.IsFailure() {
+				continue
+			}
+			d0 := f[0] - r[0]
+			d1 := f[1] - r[1]
+			d := d0*d0 + d1*d1
+			if d < best {
+				best = d
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	return total / float64(len(ref))
+}

@@ -1,0 +1,280 @@
+// Package problems provides standard multiobjective benchmark problems
+// (ZDT, DTLZ, Schaffer, Kursawe, Fonseca–Fleming) with known Pareto-front
+// geometry.  They validate the NSGA-II implementation independently of the
+// hyperparameter-tuning application, exactly the role unit problems play
+// for any NSGA-II deployment.
+package problems
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/ea"
+)
+
+// Problem is a benchmark multiobjective minimization problem.
+type Problem struct {
+	// Name identifies the problem (e.g. "ZDT1").
+	Name string
+	// Bounds are the decision-variable bounds.
+	Bounds ea.Bounds
+	// Objectives is the number of objectives.
+	Objectives int
+	// Eval computes the objective vector for a genome.
+	Eval func(g ea.Genome) ea.Fitness
+	// TrueFront, if non-nil, maps the first objective value f1 on the true
+	// Pareto front to the corresponding f2 (bi-objective problems only);
+	// used to measure convergence in tests.
+	TrueFront func(f1 float64) float64
+	// FrontF1Range is the span of f1 along the true front.
+	FrontF1Range ea.Interval
+}
+
+// Evaluator adapts the problem to the ea.Evaluator interface.
+func (p *Problem) Evaluator() ea.Evaluator {
+	return ea.EvaluatorFunc(func(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+		return p.Eval(g), nil
+	})
+}
+
+func unitBounds(n int) ea.Bounds {
+	b := make(ea.Bounds, n)
+	for i := range b {
+		b[i] = ea.Interval{Lo: 0, Hi: 1}
+	}
+	return b
+}
+
+// ZDT1 is the convex bi-objective ZDT problem with n decision variables.
+// True front: f2 = 1 - sqrt(f1), f1 in [0,1], achieved at x2..xn = 0.
+func ZDT1(n int) *Problem {
+	return &Problem{
+		Name:       "ZDT1",
+		Bounds:     unitBounds(n),
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			f1 := x[0]
+			g := zdtG(x)
+			return ea.Fitness{f1, g * (1 - math.Sqrt(f1/g))}
+		},
+		TrueFront:    func(f1 float64) float64 { return 1 - math.Sqrt(f1) },
+		FrontF1Range: ea.Interval{Lo: 0, Hi: 1},
+	}
+}
+
+// ZDT2 is the non-convex variant: f2 = 1 - f1², f1 in [0,1].
+func ZDT2(n int) *Problem {
+	return &Problem{
+		Name:       "ZDT2",
+		Bounds:     unitBounds(n),
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			f1 := x[0]
+			g := zdtG(x)
+			r := f1 / g
+			return ea.Fitness{f1, g * (1 - r*r)}
+		},
+		TrueFront:    func(f1 float64) float64 { return 1 - f1*f1 },
+		FrontF1Range: ea.Interval{Lo: 0, Hi: 1},
+	}
+}
+
+// ZDT3 has a disconnected front: f2 = 1 - sqrt(f1) - f1·sin(10πf1).
+func ZDT3(n int) *Problem {
+	return &Problem{
+		Name:       "ZDT3",
+		Bounds:     unitBounds(n),
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			f1 := x[0]
+			g := zdtG(x)
+			r := f1 / g
+			return ea.Fitness{f1, g * (1 - math.Sqrt(r) - r*math.Sin(10*math.Pi*f1))}
+		},
+		// The analytic envelope; only segments of it are Pareto-optimal.
+		TrueFront:    func(f1 float64) float64 { return 1 - math.Sqrt(f1) - f1*math.Sin(10*math.Pi*f1) },
+		FrontF1Range: ea.Interval{Lo: 0, Hi: 0.852},
+	}
+}
+
+// ZDT4 is the multimodal variant with 21^(n-1) local fronts; x1 in [0,1],
+// x2..xn in [-5,5].  True front: f2 = 1 - sqrt(f1).
+func ZDT4(n int) *Problem {
+	b := make(ea.Bounds, n)
+	b[0] = ea.Interval{Lo: 0, Hi: 1}
+	for i := 1; i < n; i++ {
+		b[i] = ea.Interval{Lo: -5, Hi: 5}
+	}
+	return &Problem{
+		Name:       "ZDT4",
+		Bounds:     b,
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			f1 := x[0]
+			g := 1 + 10*float64(len(x)-1)
+			for _, xi := range x[1:] {
+				g += xi*xi - 10*math.Cos(4*math.Pi*xi)
+			}
+			return ea.Fitness{f1, g * (1 - math.Sqrt(f1/g))}
+		},
+		TrueFront:    func(f1 float64) float64 { return 1 - math.Sqrt(f1) },
+		FrontF1Range: ea.Interval{Lo: 0, Hi: 1},
+	}
+}
+
+// ZDT6 has a non-uniformly distributed, non-convex front.
+func ZDT6(n int) *Problem {
+	return &Problem{
+		Name:       "ZDT6",
+		Bounds:     unitBounds(n),
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			f1 := 1 - math.Exp(-4*x[0])*math.Pow(math.Sin(6*math.Pi*x[0]), 6)
+			s := 0.0
+			for _, xi := range x[1:] {
+				s += xi
+			}
+			g := 1 + 9*math.Pow(s/float64(len(x)-1), 0.25)
+			r := f1 / g
+			return ea.Fitness{f1, g * (1 - r*r)}
+		},
+		TrueFront:    func(f1 float64) float64 { return 1 - f1*f1 },
+		FrontF1Range: ea.Interval{Lo: 0.2807753191, Hi: 1},
+	}
+}
+
+func zdtG(x ea.Genome) float64 {
+	s := 0.0
+	for _, xi := range x[1:] {
+		s += xi
+	}
+	return 1 + 9*s/float64(len(x)-1)
+}
+
+// Schaffer is the classic single-variable bi-objective problem
+// f1 = x², f2 = (x-2)²; Pareto set x in [0,2], front f2 = (sqrt(f1)-2)².
+func Schaffer() *Problem {
+	return &Problem{
+		Name:       "Schaffer",
+		Bounds:     ea.Bounds{{Lo: -1000, Hi: 1000}},
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			return ea.Fitness{x[0] * x[0], (x[0] - 2) * (x[0] - 2)}
+		},
+		TrueFront: func(f1 float64) float64 {
+			d := math.Sqrt(f1) - 2
+			return d * d
+		},
+		FrontF1Range: ea.Interval{Lo: 0, Hi: 4},
+	}
+}
+
+// FonsecaFleming is the bi-objective problem with front
+// f2 = 1 - exp(-(2 - sqrt(-ln(1-f1)))²) over n variables in [-4,4].
+func FonsecaFleming(n int) *Problem {
+	b := make(ea.Bounds, n)
+	for i := range b {
+		b[i] = ea.Interval{Lo: -4, Hi: 4}
+	}
+	inv := 1 / math.Sqrt(float64(n))
+	return &Problem{
+		Name:       "FonsecaFleming",
+		Bounds:     b,
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			var s1, s2 float64
+			for _, xi := range x {
+				d1 := xi - inv
+				d2 := xi + inv
+				s1 += d1 * d1
+				s2 += d2 * d2
+			}
+			return ea.Fitness{1 - math.Exp(-s1), 1 - math.Exp(-s2)}
+		},
+	}
+}
+
+// Kursawe is the non-convex, disconnected 3-variable problem of Kursawe
+// (1990); no closed-form front is provided.
+func Kursawe() *Problem {
+	b := make(ea.Bounds, 3)
+	for i := range b {
+		b[i] = ea.Interval{Lo: -5, Hi: 5}
+	}
+	return &Problem{
+		Name:       "Kursawe",
+		Bounds:     b,
+		Objectives: 2,
+		Eval: func(x ea.Genome) ea.Fitness {
+			var f1, f2 float64
+			for i := 0; i < 2; i++ {
+				f1 += -10 * math.Exp(-0.2*math.Sqrt(x[i]*x[i]+x[i+1]*x[i+1]))
+			}
+			for _, xi := range x {
+				f2 += math.Pow(math.Abs(xi), 0.8) + 5*math.Sin(xi*xi*xi)
+			}
+			return ea.Fitness{f1, f2}
+		},
+	}
+}
+
+// DTLZ2 is the M-objective spherical-front problem with n variables.  On
+// the true front the squared objectives sum to 1.
+func DTLZ2(n, m int) *Problem {
+	return &Problem{
+		Name:       "DTLZ2",
+		Bounds:     unitBounds(n),
+		Objectives: m,
+		Eval: func(x ea.Genome) ea.Fitness {
+			k := len(x) - m + 1
+			g := 0.0
+			for _, xi := range x[len(x)-k:] {
+				d := xi - 0.5
+				g += d * d
+			}
+			f := make(ea.Fitness, m)
+			for i := 0; i < m; i++ {
+				v := 1 + g
+				for j := 0; j < m-1-i; j++ {
+					v *= math.Cos(x[j] * math.Pi / 2)
+				}
+				if i > 0 {
+					v *= math.Sin(x[m-1-i] * math.Pi / 2)
+				}
+				f[i] = v
+			}
+			return f
+		},
+	}
+}
+
+// DTLZ1 is the M-objective linear-front problem; on the true front the
+// objectives sum to 0.5.
+func DTLZ1(n, m int) *Problem {
+	return &Problem{
+		Name:       "DTLZ1",
+		Bounds:     unitBounds(n),
+		Objectives: m,
+		Eval: func(x ea.Genome) ea.Fitness {
+			k := len(x) - m + 1
+			g := 0.0
+			for _, xi := range x[len(x)-k:] {
+				d := xi - 0.5
+				g += d*d - math.Cos(20*math.Pi*d)
+			}
+			g = 100 * (float64(k) + g)
+			f := make(ea.Fitness, m)
+			for i := 0; i < m; i++ {
+				v := 0.5 * (1 + g)
+				for j := 0; j < m-1-i; j++ {
+					v *= x[j]
+				}
+				if i > 0 {
+					v *= 1 - x[m-1-i]
+				}
+				f[i] = v
+			}
+			return f
+		},
+	}
+}

@@ -1,0 +1,221 @@
+package problems
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ea"
+)
+
+// optimalGenome builds a genome on the true Pareto set for the ZDT family:
+// x1 = t, all other variables at their front-optimal value.
+func optimalZDT(p *Problem, t, rest float64) ea.Genome {
+	g := make(ea.Genome, len(p.Bounds))
+	g[0] = t
+	for i := 1; i < len(g); i++ {
+		g[i] = rest
+	}
+	return g
+}
+
+func TestZDT1FrontConsistency(t *testing.T) {
+	p := ZDT1(30)
+	for _, x1 := range []float64{0, 0.25, 0.5, 1} {
+		f := p.Eval(optimalZDT(p, x1, 0))
+		want := p.TrueFront(f[0])
+		if math.Abs(f[1]-want) > 1e-12 {
+			t.Errorf("ZDT1(x1=%v): f2 = %v, want %v", x1, f[1], want)
+		}
+	}
+}
+
+func TestZDT2FrontConsistency(t *testing.T) {
+	p := ZDT2(30)
+	for _, x1 := range []float64{0, 0.3, 0.9} {
+		f := p.Eval(optimalZDT(p, x1, 0))
+		want := p.TrueFront(f[0])
+		if math.Abs(f[1]-want) > 1e-12 {
+			t.Errorf("ZDT2(x1=%v): f2 = %v, want %v", x1, f[1], want)
+		}
+	}
+}
+
+func TestZDT3FrontConsistency(t *testing.T) {
+	p := ZDT3(30)
+	for _, x1 := range []float64{0, 0.1, 0.4} {
+		f := p.Eval(optimalZDT(p, x1, 0))
+		want := p.TrueFront(f[0])
+		if math.Abs(f[1]-want) > 1e-12 {
+			t.Errorf("ZDT3(x1=%v): f2 = %v, want %v", x1, f[1], want)
+		}
+	}
+}
+
+func TestZDT4FrontConsistency(t *testing.T) {
+	p := ZDT4(10)
+	for _, x1 := range []float64{0, 0.5, 1} {
+		f := p.Eval(optimalZDT(p, x1, 0))
+		want := p.TrueFront(f[0])
+		if math.Abs(f[1]-want) > 1e-9 {
+			t.Errorf("ZDT4(x1=%v): f2 = %v, want %v", x1, f[1], want)
+		}
+	}
+}
+
+func TestZDT6FrontConsistency(t *testing.T) {
+	p := ZDT6(10)
+	// x1 maximizing the sin^6 term sits on the front with rest = 0.
+	f := p.Eval(optimalZDT(p, 0.0833, 0))
+	want := p.TrueFront(f[0])
+	if math.Abs(f[1]-want) > 1e-9 {
+		t.Errorf("ZDT6: f2 = %v, want %v", f[1], want)
+	}
+}
+
+func TestSchafferKnownPoints(t *testing.T) {
+	p := Schaffer()
+	f := p.Eval(ea.Genome{0})
+	if f[0] != 0 || f[1] != 4 {
+		t.Errorf("Schaffer(0) = %v, want [0 4]", f)
+	}
+	f = p.Eval(ea.Genome{2})
+	if f[0] != 4 || f[1] != 0 {
+		t.Errorf("Schaffer(2) = %v, want [4 0]", f)
+	}
+	f = p.Eval(ea.Genome{1})
+	if math.Abs(p.TrueFront(f[0])-f[1]) > 1e-12 {
+		t.Errorf("Schaffer front mismatch at x=1: %v vs %v", f[1], p.TrueFront(f[0]))
+	}
+}
+
+func TestFonsecaFlemingSymmetricPoint(t *testing.T) {
+	p := FonsecaFleming(3)
+	f := p.Eval(ea.Genome{0, 0, 0})
+	if math.Abs(f[0]-f[1]) > 1e-12 {
+		t.Errorf("FonsecaFleming at origin not symmetric: %v", f)
+	}
+}
+
+func TestDTLZ2FrontOnSphere(t *testing.T) {
+	p := DTLZ2(12, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		g := make(ea.Genome, 12)
+		// Position variables free, distance variables at 0.5 (front).
+		for j := 0; j < 2; j++ {
+			g[j] = rng.Float64()
+		}
+		for j := 2; j < 12; j++ {
+			g[j] = 0.5
+		}
+		f := p.Eval(g)
+		sum := 0.0
+		for _, v := range f {
+			sum += v * v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("DTLZ2 front point has |f|² = %v, want 1", sum)
+		}
+	}
+}
+
+func TestDTLZ1FrontOnPlane(t *testing.T) {
+	p := DTLZ1(7, 3)
+	g := ea.Genome{0.3, 0.7, 0.5, 0.5, 0.5, 0.5, 0.5}
+	f := p.Eval(g)
+	sum := 0.0
+	for _, v := range f {
+		sum += v
+	}
+	if math.Abs(sum-0.5) > 1e-9 {
+		t.Errorf("DTLZ1 front point sums to %v, want 0.5", sum)
+	}
+}
+
+func TestKursaweFinite(t *testing.T) {
+	p := Kursawe()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		g := p.Bounds.Sample(rng)
+		f := p.Eval(g)
+		for k, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Kursawe(%v) objective %d = %v", g, k, v)
+			}
+		}
+	}
+}
+
+func TestEvaluatorAdapter(t *testing.T) {
+	p := Schaffer()
+	ev := p.Evaluator()
+	f, err := ev.Evaluate(nil, ea.Genome{2}) //nolint:staticcheck // context unused by adapter
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if f[1] != 0 {
+		t.Errorf("Evaluate(2)[1] = %v, want 0", f[1])
+	}
+}
+
+func TestObjectiveCounts(t *testing.T) {
+	cases := []struct {
+		p    *Problem
+		n, m int
+	}{
+		{ZDT1(30), 30, 2},
+		{ZDT4(10), 10, 2},
+		{DTLZ2(12, 3), 12, 3},
+		{DTLZ1(7, 3), 7, 3},
+		{Kursawe(), 3, 2},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range cases {
+		if len(c.p.Bounds) != c.n {
+			t.Errorf("%s: %d variables, want %d", c.p.Name, len(c.p.Bounds), c.n)
+		}
+		f := c.p.Eval(c.p.Bounds.Sample(rng))
+		if len(f) != c.m {
+			t.Errorf("%s: %d objectives, want %d", c.p.Name, len(f), c.m)
+		}
+		if c.p.Objectives != c.m {
+			t.Errorf("%s: Objectives field %d, want %d", c.p.Name, c.p.Objectives, c.m)
+		}
+	}
+}
+
+func TestReferenceFrontAndIGD(t *testing.T) {
+	p := ZDT1(5)
+	ref := p.ReferenceFront(50)
+	if len(ref) != 50 {
+		t.Fatalf("reference front has %d points", len(ref))
+	}
+	if ref[0][0] != 0 || ref[49][0] != 1 {
+		t.Errorf("front endpoints wrong: %v %v", ref[0], ref[49])
+	}
+	// A population exactly on the front has IGD ≈ spacing error only.
+	var onFront ea.Population
+	for _, r := range ref {
+		onFront = append(onFront, &ea.Individual{Fitness: ea.Fitness{r[0], r[1]}, Evaluated: true})
+	}
+	if d := IGD(onFront, ref); d > 1e-12 {
+		t.Errorf("IGD of exact front = %v, want 0", d)
+	}
+	// A shifted population must have IGD of the order of the shift (it can
+	// undercut 0.5 where the curve is steep: the nearest shifted point is
+	// then a diagonal neighbour).
+	var shifted ea.Population
+	for _, r := range ref {
+		shifted = append(shifted, &ea.Individual{Fitness: ea.Fitness{r[0], r[1] + 0.5}, Evaluated: true})
+	}
+	if d := IGD(shifted, ref); d < 0.3 || d > 0.5+1e-9 {
+		t.Errorf("IGD of shifted front = %v, want in (0.3, 0.5]", d)
+	}
+	if !math.IsNaN(IGD(nil, ref)) {
+		t.Error("IGD of empty population should be NaN")
+	}
+	if Kursawe().ReferenceFront(10) != nil {
+		t.Error("problems without TrueFront should return nil reference")
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHist2DAdd(b *testing.B) {
+	h := NewHist2D(0, 1, 60, 0, 1, 20)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	ys := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(xs[i%1024], ys[i%1024])
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spearman(x, y)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}

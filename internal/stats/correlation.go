@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Pearson returns the Pearson linear correlation coefficient of two equal-
+// length samples, or NaN for degenerate input.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation: Pearson on fractional
+// ranks, robust to monotone-nonlinear relationships — the right tool for
+// hyperparameter-vs-loss association where effects are rarely linear.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// ranks converts values to fractional ranks (ties averaged).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// CorrelationMatrix computes Spearman correlations of every column in
+// data against every target column.  data is column-major: data[c][i] is
+// observation i of column c.
+type CorrelationMatrix struct {
+	ColumnNames []string
+	TargetNames []string
+	// Rho[c][t] is Spearman(data column c, target t).
+	Rho [][]float64
+}
+
+// NewCorrelationMatrix builds the matrix.
+func NewCorrelationMatrix(colNames []string, cols [][]float64, targetNames []string, targets [][]float64) (*CorrelationMatrix, error) {
+	if len(colNames) != len(cols) || len(targetNames) != len(targets) {
+		return nil, fmt.Errorf("stats: name/data arity mismatch")
+	}
+	m := &CorrelationMatrix{ColumnNames: colNames, TargetNames: targetNames}
+	for c := range cols {
+		row := make([]float64, len(targets))
+		for t := range targets {
+			row[t] = Spearman(cols[c], targets[t])
+		}
+		m.Rho = append(m.Rho, row)
+	}
+	return m, nil
+}
+
+// Render formats the matrix as a table.
+func (m *CorrelationMatrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s", "")
+	for _, t := range m.TargetNames {
+		fmt.Fprintf(&b, " %12s", t)
+	}
+	b.WriteByte('\n')
+	for c, name := range m.ColumnNames {
+		fmt.Fprintf(&b, "%-20s", name)
+		for t := range m.TargetNames {
+			fmt.Fprintf(&b, " %12.3f", m.Rho[c][t])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+)
+
+// WritePNG renders the 2-D histogram as a level-plot PNG with a
+// white-to-dark sequential colormap, cellSize pixels per bin and a thin
+// frame — a publication-style rendition of the paper's Fig. 1/2 panels
+// without any plotting dependency.
+func (h *Hist2D) WritePNG(w io.Writer, cellSize int) error {
+	if cellSize < 1 {
+		cellSize = 4
+	}
+	const margin = 2
+	width := h.NX*cellSize + 2*margin
+	height := h.NY*cellSize + 2*margin
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+
+	// Background and frame.
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			c := color.RGBA{255, 255, 255, 255}
+			if x < margin || x >= width-margin || y < margin || y >= height-margin {
+				c = color.RGBA{60, 60, 60, 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+
+	maxC := h.MaxCount()
+	for iy := 0; iy < h.NY; iy++ {
+		for ix := 0; ix < h.NX; ix++ {
+			n := h.Counts[iy][ix]
+			if n == 0 {
+				continue
+			}
+			// Log-scaled intensity so sparse and dense bins both read.
+			t := math.Log1p(float64(n)) / math.Log1p(float64(maxC))
+			c := levelColor(t)
+			// y axis increases upward: bin iy=0 is the bottom row.
+			py0 := margin + (h.NY-1-iy)*cellSize
+			px0 := margin + ix*cellSize
+			for dy := 0; dy < cellSize; dy++ {
+				for dx := 0; dx < cellSize; dx++ {
+					img.SetRGBA(px0+dx, py0+dy, c)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// levelColor maps t∈[0,1] onto a white→blue→dark sequential ramp.
+func levelColor(t float64) color.RGBA {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Interpolate white (255,255,255) → mid blue (66,106,235) → dark navy
+	// (18,26,84).
+	lerp := func(a, b float64, u float64) uint8 { return uint8(a + (b-a)*u + 0.5) }
+	if t < 0.5 {
+		u := t * 2
+		return color.RGBA{lerp(255, 66, u), lerp(255, 106, u), lerp(255, 235, u), 255}
+	}
+	u := (t - 0.5) * 2
+	return color.RGBA{lerp(66, 18, u), lerp(106, 26, u), lerp(235, 84, u), 255}
+}
+
+// WritePNGFile writes the level plot to path.
+func (h *Hist2D) WritePNGFile(path string, cellSize int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.WritePNG(f, cellSize); err != nil {
+		f.Close()
+		return fmt.Errorf("stats: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,37 @@
+package surrogate
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hpo"
+)
+
+func BenchmarkEvaluateGenome(b *testing.B) {
+	s := NewEvaluator(Config{Seed: 1})
+	g, err := hpo.Encode(goodParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EvaluateGenome(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateAsEvaluator(b *testing.B) {
+	s := NewEvaluator(Config{Seed: 1, DisableFailures: true})
+	g, err := hpo.Encode(goodParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package surrogate
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/deepmd"
+	"repro/internal/descriptor"
+	"repro/internal/md"
+	"repro/internal/nn"
+)
+
+// These tests validate the DESIGN.md substitution claim: the surrogate's
+// response axes point the same way as the real in-process DeePMD trainer.
+// Each check trains two tiny real models differing in one hyperparameter
+// and verifies the loss ordering agrees with the surrogate's.
+
+// trainReal trains a miniature model and returns final validation losses.
+func trainReal(t *testing.T, rcut float64, act nn.Activation, startLR, stopLR float64, seed int64) (rmseE, rmseF float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	species := []md.Species{md.Al, md.Cl, md.Cl, md.Cl, md.K, md.Cl, md.Cl, md.K}
+	pot := md.NewPaperBMH(4.0)
+	data := dataset.Generate(rng, species, 7.5, 498, pot, 0.5, 80, 8, 20)
+	data.Shuffle(rand.New(rand.NewSource(22)))
+	train, val := data.Split(0.25)
+
+	m, err := deepmd.NewModel(rand.New(rand.NewSource(seed)), deepmd.ModelConfig{
+		Descriptor: descriptor.Config{
+			RCut: rcut, RCutSmth: 1.0,
+			EmbeddingSizes: []int{4, 8}, AxisNeurons: 2,
+			Activation: act, NumSpecies: 3, NeighborNorm: 7,
+		},
+		FittingSizes:      []int{10},
+		FittingActivation: act,
+		NumSpecies:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deepmd.Train(context.Background(), m, train, val, deepmd.TrainConfig{
+		Steps: 120, BatchSize: 2, StartLR: startLR, StopLR: stopLR,
+		ScaleByWorker: "none", Workers: 1, DispFreq: 60, Seed: seed,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FinalEnergyRMSE, res.FinalForceRMSE
+}
+
+func TestRealTrainerAgreesOnLearningRateAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training in -short mode")
+	}
+	// A collapsed learning rate must undertrain (higher losses), exactly
+	// as the surrogate's u-penalty encodes.
+	_, fGood := trainReal(t, 3.0, nn.Tanh, 0.005, 1e-4, 31)
+	_, fTiny := trainReal(t, 3.0, nn.Tanh, 1e-7, 5e-8, 31)
+	if fTiny <= fGood {
+		t.Errorf("real trainer: tiny lr force %v not worse than good lr %v", fTiny, fGood)
+	}
+	s := newQuiet()
+	hGood := goodParams()
+	hTiny := goodParams()
+	hTiny.StartLR, hTiny.StopLR = 1e-7, 5e-8
+	if s.EvaluateParams(hTiny, 1).ForceLoss <= s.EvaluateParams(hGood, 1).ForceLoss {
+		t.Error("surrogate disagrees with itself on lr axis")
+	}
+}
+
+func TestRealTrainerAgreesOnRCutAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training in -short mode")
+	}
+	// A cutoff so small the descriptor sees almost no neighbours must
+	// train worse than a cutoff covering the first coordination shells.
+	_, fBig := trainReal(t, 3.2, nn.Tanh, 0.005, 1e-4, 33)
+	_, fSmall := trainReal(t, 1.6, nn.Tanh, 0.005, 1e-4, 33)
+	if fSmall <= fBig {
+		t.Errorf("real trainer: small rcut force %v not worse than larger rcut %v", fSmall, fBig)
+	}
+}
