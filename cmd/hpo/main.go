@@ -70,7 +70,7 @@ func main() {
 		}
 		evaluator = &hpo.WorkflowEvaluator{
 			WorkDir: workDir,
-			Steps:   *steps, DispFreq: maxInt(*steps/4, 1), Seed: *seed,
+			Steps:   *steps, DispFreq: max(*steps/4, 1), Seed: *seed,
 			TrainDir: *dataDir + "/train", ValDir: *dataDir + "/val",
 			Trainer: hpo.TrainerFunc(rt.TrainRun),
 		}
@@ -135,9 +135,3 @@ func main() {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

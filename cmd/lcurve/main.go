@@ -95,9 +95,3 @@ func chart(recs []deepmd.LCurveRecord, get func(deepmd.LCurveRecord) float64, wi
 	return b.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -57,9 +57,3 @@ func main() {
 	fmt.Printf("largest deviation from the analytic front: %.4f\n", worst)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -27,6 +27,7 @@ func BenchmarkEnergyForces(b *testing.B) {
 	}
 	d := benchData(b, 1)
 	fr := &d.Frames[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.EnergyForces(fr.Coord, d.Types, fr.Box)
@@ -51,6 +52,7 @@ func BenchmarkTrainStepByWorkers(b *testing.B) {
 				DispFreq: b.N + 1, // no validation inside the loop
 				Seed:     4,
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			if _, err := Train(context.Background(), m, train, val, cfg, nil); err != nil && err != ErrDiverged {
 				b.Fatal(err)
@@ -63,6 +65,7 @@ func BenchmarkEvalErrors(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	m, _ := NewModel(rng, tinyModelConfig())
 	d := benchData(b, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EvalErrors(m, d, 0)

@@ -2,6 +2,8 @@ package deepmd
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 )
@@ -52,6 +54,10 @@ func FrameErrors(f *dataset.Frame, ePred float64, fPred []float64) (ePerAtom, fR
 // rmse_f the RMS over all force components — the two quantities the EA
 // minimizes (§2.2.4).  frames limits how many frames are evaluated (0 =
 // all).
+//
+// Frames are evaluated on a worker pool bounded by m.Threads(); the
+// per-frame error terms are reduced in frame order afterwards, so the
+// result is bit-identical for every worker count.
 func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64) {
 	if frames <= 0 || frames > d.Len() {
 		frames = d.Len()
@@ -59,18 +65,60 @@ func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64)
 	if frames == 0 {
 		return 0, 0
 	}
-	var se, sf float64
-	var nf int
-	for i := 0; i < frames; i++ {
+	type frameErr struct {
+		se, sf float64
+		nf     int
+	}
+	res := make([]frameErr, frames)
+	evalOne := func(s *evalScratch, i int) {
 		fr := &d.Frames[i]
-		e, f := m.EnergyForces(fr.Coord, d.Types, fr.Box)
+		e, f := m.evalFrame(s, fr.Coord, d.Types, fr.Box)
 		de, _ := FrameErrors(fr, e, f)
-		se += de * de
+		var sf float64
 		for k := range f {
 			diff := f[k] - fr.Force[k]
 			sf += diff * diff
-			nf++
 		}
+		res[i] = frameErr{se: de * de, sf: sf, nf: len(f)}
+	}
+
+	threads := m.Threads()
+	if threads > frames {
+		threads = frames
+	}
+	if threads <= 1 {
+		s := m.getScratch(3 * d.NAtoms())
+		for i := 0; i < frames; i++ {
+			evalOne(s, i)
+		}
+		m.putScratch(s)
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := m.getScratch(3 * d.NAtoms())
+				defer m.putScratch(s)
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= frames {
+						return
+					}
+					evalOne(s, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var se, sf float64
+	var nf int
+	for i := range res {
+		se += res[i].se
+		sf += res[i].sf
+		nf += res[i].nf
 	}
 	return math.Sqrt(se / float64(frames)), math.Sqrt(sf / float64(nf))
 }

@@ -12,8 +12,12 @@ package deepmd
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/descriptor"
+	"repro/internal/neighbor"
 	"repro/internal/nn"
 )
 
@@ -60,6 +64,16 @@ type Model struct {
 	// Bias[t] is a constant atomic-energy offset per species, initialized
 	// from the training-set mean so the networks only learn residuals.
 	Bias []float64
+
+	// threads bounds the per-atom worker pool (and EvalErrors' frame
+	// pool).  Results are bit-identical for every value: per-atom
+	// contributions are always merged in atom-index order.
+	threads int
+	// params caches the Params() view, built once at construction.
+	params []nn.ParamGrad
+	// scratch pools per-worker evaluation state (environments, tapes,
+	// shadow gradient shards, neighbor lists).
+	scratch sync.Pool
 }
 
 // NewModel builds a model with randomly initialized networks.
@@ -75,37 +89,273 @@ func NewModel(rng *rand.Rand, cfg ModelConfig) (*Model, error) {
 	for t := 0; t < cfg.NumSpecies; t++ {
 		m.Fit = append(m.Fit, nn.NewMLP(rng, cfg.Descriptor.OutDim(), cfg.FittingSizes, 1, cfg.FittingActivation))
 	}
+	m.threads = runtime.GOMAXPROCS(0)
+	m.params = m.buildParams()
+	m.scratch.New = func() any { return &evalScratch{} }
 	return m, nil
 }
 
-// Energy returns the predicted total energy of a configuration.
-func (m *Model) Energy(coord []float64, types []int, box float64) float64 {
-	e := 0.0
-	for i := range types {
-		env := m.Desc.Forward(coord, types, box, i)
-		out, _ := m.Fit[types[i]].Forward(env.Out())
-		e += out[0] + m.Bias[types[i]]
+// SetThreads bounds the worker pool used inside EnergyForces /
+// AccumulateEnergyGrad (per-atom parallelism) and EvalErrors (per-frame
+// parallelism).  n <= 0 restores the default, GOMAXPROCS.  Predictions
+// and gradients are bit-identical for every setting; only wall time
+// changes.  Not safe to call concurrently with evaluations.
+func (m *Model) SetThreads(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return e
+	m.threads = n
+}
+
+// Threads reports the current worker-pool bound.
+func (m *Model) Threads() int { return m.threads }
+
+// evalScratch is the reusable per-worker state of one in-flight atom (or,
+// in EvalErrors, one in-flight frame).  Buffers are either overwritten on
+// use or zeroed after merging, so pooled reuse never affects results.
+type evalScratch struct {
+	env     *descriptor.Env
+	fitTape *nn.Tape
+	dy      [1]float64
+	energy  float64
+
+	// dcoord receives coordinate gradients for the scratch's current
+	// atom.  Invariant outside a compute/merge pair: all zeros.
+	dcoord []float64
+
+	// Shadow gradient shards, created lazily for training-mode calls.
+	sdesc *descriptor.Descriptor
+	sfit  []*nn.MLP
+
+	// Frame-level scratch for EvalErrors / public wrappers.
+	nl     neighbor.List
+	forces []float64
+}
+
+func (m *Model) getScratch(n3 int) *evalScratch {
+	s := m.scratch.Get().(*evalScratch)
+	if len(s.dcoord) != n3 {
+		s.dcoord = make([]float64, n3)
+	}
+	return s
+}
+
+func (m *Model) putScratch(s *evalScratch) { m.scratch.Put(s) }
+
+// ensureShadows makes sure the scratch carries gradient shards matching
+// this model's architecture.
+func (m *Model) ensureShadows(s *evalScratch) {
+	if s.sdesc != nil && len(s.sfit) == len(m.Fit) {
+		return
+	}
+	s.sdesc = m.Desc.ShadowClone()
+	s.sfit = make([]*nn.MLP, len(m.Fit))
+	for t, f := range m.Fit {
+		s.sfit[t] = f.ShadowClone()
+	}
+}
+
+// evalMode selects what a per-atom evaluation computes.
+type evalMode int
+
+const (
+	modeEnergy evalMode = iota // energy only
+	modeForces                 // energy + coordinate gradients
+	modeGrad                   // energy + parameter gradients (training)
+)
+
+// computeAtom evaluates atom i into the scratch: descriptor forward,
+// fitting forward, and the backward pass the mode calls for.  It touches
+// no shared mutable state; gradients land in the scratch's shadow shards
+// and s.dcoord.
+func (m *Model) computeAtom(s *evalScratch, mode evalMode, coord []float64, types []int, box float64, i int, nl *neighbor.List, scale float64) {
+	desc := m.Desc
+	fit := m.Fit[types[i]]
+	if mode == modeGrad {
+		m.ensureShadows(s)
+		desc = s.sdesc
+		fit = s.sfit[types[i]]
+	}
+	s.env = desc.ForwardEnv(s.env, coord, types, box, i, nl.Candidates(i))
+	if s.fitTape == nil {
+		s.fitTape = &nn.Tape{}
+	}
+	out := fit.ForwardT(s.fitTape, s.env.Out())
+	s.energy = out[0] + m.Bias[types[i]]
+	switch mode {
+	case modeForces:
+		s.dy[0] = 1
+		dEdD := fit.InputGrad(s.fitTape, s.dy[:])
+		desc.Backward(s.env, dEdD, s.dcoord, false)
+	case modeGrad:
+		s.dy[0] = scale
+		dEdD := fit.Backward(s.fitTape, s.dy[:])
+		desc.Backward(s.env, dEdD, s.dcoord, true)
+	}
+}
+
+// mergeAtom folds the scratch's per-atom results into the global
+// accumulators and restores the scratch invariants (zeroed dcoord
+// entries, zeroed shadow grads).  forEachAtom calls it in strict
+// atom-index order, which fixes the floating-point reduction order
+// independent of the worker count.
+func (m *Model) mergeAtom(s *evalScratch, mode evalMode, t int, energy *float64, dcoord []float64) {
+	*energy += s.energy
+	if mode == modeEnergy {
+		return
+	}
+	c := s.env.Center()
+	nbrs := s.env.NeighborAtoms()
+	for k := 0; k < 3; k++ {
+		if dcoord != nil {
+			dcoord[3*c+k] += s.dcoord[3*c+k]
+		}
+		s.dcoord[3*c+k] = 0
+	}
+	for _, j := range nbrs {
+		for k := 0; k < 3; k++ {
+			if dcoord != nil {
+				dcoord[3*j+k] += s.dcoord[3*j+k]
+			}
+			s.dcoord[3*j+k] = 0
+		}
+	}
+	if mode == modeGrad {
+		nn.AddGradsAndReset(m.Fit[t], s.sfit[t])
+		for _, e := range s.env.EmbedNets() {
+			nn.AddGradsAndReset(m.Desc.Embed[e], s.sdesc.Embed[e])
+		}
+	}
+}
+
+// forEachAtom runs compute for every atom and merge in strict atom order.
+// With threads <= 1 (or few atoms) it runs inline; otherwise a bounded
+// worker pool computes atoms concurrently while the calling goroutine
+// merges results as their turn comes up.  Because merge order is always
+// ascending atom index, the arithmetic — and therefore every bit of the
+// output — is identical for any worker count.
+func (m *Model) forEachAtom(nAtoms, n3 int, compute func(*evalScratch, int), merge func(*evalScratch, int)) {
+	threads := m.threads
+	if threads > nAtoms {
+		threads = nAtoms
+	}
+	if threads <= 1 {
+		s := m.getScratch(n3)
+		for i := 0; i < nAtoms; i++ {
+			compute(s, i)
+			merge(s, i)
+		}
+		m.putScratch(s)
+		return
+	}
+
+	nScratch := threads + 1
+	free := make(chan *evalScratch, nScratch)
+	for j := 0; j < nScratch; j++ {
+		free <- m.getScratch(n3)
+	}
+	type result struct {
+		i int
+		s *evalScratch
+	}
+	results := make(chan result, nScratch)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Take a scratch before claiming an index: a worker that
+				// owns the next-to-merge atom must never block on the
+				// free list, or the pipeline deadlocks.
+				s := <-free
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= nAtoms {
+					free <- s
+					return
+				}
+				compute(s, i)
+				results <- result{i, s}
+			}
+		}()
+	}
+	pending := make([]*evalScratch, nAtoms)
+	for want := 0; want < nAtoms; {
+		r := <-results
+		pending[r.i] = r.s
+		for want < nAtoms && pending[want] != nil {
+			merge(pending[want], want)
+			free <- pending[want]
+			pending[want] = nil
+			want++
+		}
+	}
+	wg.Wait()
+	close(free)
+	for s := range free {
+		m.putScratch(s)
+	}
+}
+
+// withList builds a skinless neighbor list for the configuration in
+// pooled scratch and hands it to fn.
+func (m *Model) withList(coord []float64, box float64, fn func(nl *neighbor.List)) {
+	s := m.scratch.Get().(*evalScratch)
+	s.nl.Build(coord, box, m.Cfg.Descriptor.RCut, 0)
+	fn(&s.nl)
+	m.scratch.Put(s)
+}
+
+// Energy returns the predicted total energy of a configuration.
+func (m *Model) Energy(coord []float64, types []int, box float64) (energy float64) {
+	m.withList(coord, box, func(nl *neighbor.List) {
+		energy = m.EnergyNL(nl, coord, types, box)
+	})
+	return energy
+}
+
+// EnergyNL is Energy against a caller-provided neighbor list (built for
+// these coordinates, or for nearby ones within the list's skin).
+func (m *Model) EnergyNL(nl *neighbor.List, coord []float64, types []int, box float64) float64 {
+	energy := 0.0
+	m.forEachAtom(len(types), len(coord),
+		func(s *evalScratch, i int) {
+			m.computeAtom(s, modeEnergy, coord, types, box, i, nl, 0)
+		},
+		func(s *evalScratch, i int) {
+			m.mergeAtom(s, modeEnergy, types[i], &energy, nil)
+		})
+	return energy
 }
 
 // EnergyForces returns the predicted total energy and per-coordinate
 // forces F = −∂E/∂x (flat, atom-major xyz).
 func (m *Model) EnergyForces(coord []float64, types []int, box float64) (energy float64, forces []float64) {
-	n := len(types)
-	dcoord := make([]float64, 3*n)
-	for i := 0; i < n; i++ {
-		env := m.Desc.Forward(coord, types, box, i)
-		out, tape := m.Fit[types[i]].Forward(env.Out())
-		energy += out[0] + m.Bias[types[i]]
-		dEdD := m.Fit[types[i]].InputGrad(tape, []float64{1})
-		m.Desc.Backward(env, dEdD, dcoord, false)
-	}
-	forces = make([]float64, 3*n)
-	for k := range dcoord {
-		forces[k] = -dcoord[k]
-	}
+	forces = make([]float64, len(coord))
+	m.withList(coord, box, func(nl *neighbor.List) {
+		energy = m.EnergyForcesNL(nl, coord, types, box, forces)
+	})
 	return energy, forces
+}
+
+// EnergyForcesNL is EnergyForces against a caller-provided neighbor list,
+// writing forces into the caller's buffer (len 3N, contents overwritten).
+func (m *Model) EnergyForcesNL(nl *neighbor.List, coord []float64, types []int, box float64, forces []float64) (energy float64) {
+	for k := range forces {
+		forces[k] = 0
+	}
+	m.forEachAtom(len(types), len(coord),
+		func(s *evalScratch, i int) {
+			m.computeAtom(s, modeForces, coord, types, box, i, nl, 0)
+		},
+		func(s *evalScratch, i int) {
+			m.mergeAtom(s, modeForces, types[i], &energy, forces)
+		})
+	for k := range forces {
+		forces[k] = -forces[k]
+	}
+	return energy
 }
 
 // AccumulateEnergyGrad adds scale·∂E/∂θ to the parameter-gradient
@@ -113,23 +363,67 @@ func (m *Model) EnergyForces(coord []float64, types []int, box float64) (energy 
 // energy.  It is the training building block: energy-loss gradients use it
 // directly; force-loss gradients use it at coordinate-perturbed
 // configurations (see Trainer).
-func (m *Model) AccumulateEnergyGrad(coord []float64, types []int, box float64, scale float64) float64 {
-	energy := 0.0
-	sink := make([]float64, len(coord)) // coordinate grads discarded here
-	for i := range types {
-		env := m.Desc.Forward(coord, types, box, i)
-		out, tape := m.Fit[types[i]].Forward(env.Out())
-		energy += out[0] + m.Bias[types[i]]
-		dEdD := m.Fit[types[i]].Backward(tape, []float64{scale})
-		m.Desc.Backward(env, dEdD, sink, true)
-	}
+func (m *Model) AccumulateEnergyGrad(coord []float64, types []int, box float64, scale float64) (energy float64) {
+	m.withList(coord, box, func(nl *neighbor.List) {
+		energy = m.AccumulateEnergyGradNL(nl, coord, types, box, scale)
+	})
 	return energy
 }
 
+// AccumulateEnergyGradNL is AccumulateEnergyGrad against a caller-provided
+// neighbor list; the list's skin must cover any displacement between the
+// list's build coordinates and coord.
+func (m *Model) AccumulateEnergyGradNL(nl *neighbor.List, coord []float64, types []int, box float64, scale float64) float64 {
+	energy := 0.0
+	m.forEachAtom(len(types), len(coord),
+		func(s *evalScratch, i int) {
+			m.computeAtom(s, modeGrad, coord, types, box, i, nl, scale)
+		},
+		func(s *evalScratch, i int) {
+			m.mergeAtom(s, modeGrad, types[i], &energy, nil)
+		})
+	return energy
+}
+
+// evalFrame computes one frame's energy and forces serially on the given
+// scratch, reusing the scratch's neighbor list and force buffer.  It is
+// the building block EvalErrors parallelizes over frames; the returned
+// slice is scratch-owned.
+func (m *Model) evalFrame(s *evalScratch, coord []float64, types []int, box float64) (float64, []float64) {
+	s.nl.Build(coord, box, m.Cfg.Descriptor.RCut, 0)
+	if cap(s.forces) < len(coord) {
+		s.forces = make([]float64, len(coord))
+	}
+	s.forces = s.forces[:len(coord)]
+	for k := range s.forces {
+		s.forces[k] = 0
+	}
+	if len(s.dcoord) != len(coord) {
+		s.dcoord = make([]float64, len(coord))
+	}
+	energy := 0.0
+	for i := range types {
+		m.computeAtom(s, modeForces, coord, types, box, i, &s.nl, 0)
+		m.mergeAtom(s, modeForces, types[i], &energy, s.forces)
+	}
+	for k := range s.forces {
+		s.forces[k] = -s.forces[k]
+	}
+	return energy, s.forces
+}
+
 // Params returns every trainable parameter (descriptor embeddings plus
-// fitting networks) for optimizers and data-parallel reduction.
+// fitting networks) for optimizers and data-parallel reduction.  The
+// result is cached at construction; callers must not append to it.
 func (m *Model) Params() []nn.ParamGrad {
-	out := m.Desc.Params()
+	if m.params != nil {
+		return m.params
+	}
+	return m.buildParams()
+}
+
+func (m *Model) buildParams() []nn.ParamGrad {
+	out := append([]nn.ParamGrad(nil), m.Desc.Params()...)
 	for _, f := range m.Fit {
 		out = append(out, f.Params()...)
 	}

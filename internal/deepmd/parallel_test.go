@@ -1,0 +1,152 @@
+package deepmd
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/neighbor"
+)
+
+// newTestModel builds two structurally identical models from the same
+// seed so one can run serial and the other parallel.
+func newTestModel(t *testing.T, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := NewModel(rng, tinyModelConfig())
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+// TestEnergyForcesParallelBitIdentical checks the determinism contract:
+// the same model evaluated with 1 thread and with 4 threads must produce
+// bit-for-bit identical energies, forces and parameter gradients.  The
+// container may have a single CPU; SetThreads forces the pool path
+// regardless, which is exactly what we want to exercise.
+func TestEnergyForcesParallelBitIdentical(t *testing.T) {
+	m := newTestModel(t, 21)
+	d := tinyData(t, 2)
+
+	for _, fr := range d.Frames {
+		m.SetThreads(1)
+		e1, f1 := m.EnergyForces(fr.Coord, d.Types, fr.Box)
+		m.ZeroGrad()
+		m.AccumulateEnergyGrad(fr.Coord, d.Types, fr.Box, 1.25)
+		g1 := m.FlatGrad(nil)
+
+		m.SetThreads(4)
+		e4, f4 := m.EnergyForces(fr.Coord, d.Types, fr.Box)
+		m.ZeroGrad()
+		m.AccumulateEnergyGrad(fr.Coord, d.Types, fr.Box, 1.25)
+		g4 := m.FlatGrad(nil)
+
+		if e1 != e4 {
+			t.Fatalf("energy differs: serial %v, parallel %v", e1, e4)
+		}
+		for k := range f1 {
+			if f1[k] != f4[k] {
+				t.Fatalf("force[%d] differs: serial %v, parallel %v", k, f1[k], f4[k])
+			}
+		}
+		for k := range g1 {
+			if g1[k] != g4[k] {
+				t.Fatalf("grad[%d] differs: serial %v, parallel %v", k, g1[k], g4[k])
+			}
+		}
+	}
+}
+
+// TestEvalErrorsParallelBitIdentical does the same for the frame-parallel
+// validation evaluation.
+func TestEvalErrorsParallelBitIdentical(t *testing.T) {
+	m := newTestModel(t, 22)
+	d := tinyData(t, 6)
+
+	m.SetThreads(1)
+	e1, f1 := EvalErrors(m, d, 0)
+	m.SetThreads(4)
+	e4, f4 := EvalErrors(m, d, 0)
+	if e1 != e4 || f1 != f4 {
+		t.Fatalf("EvalErrors differ: serial (%v, %v), parallel (%v, %v)", e1, f1, e4, f4)
+	}
+}
+
+// TestTrainParallelBitIdentical trains the same seed twice, serial and
+// with a 4-thread pool, and requires identical learning curves — the
+// acceptance criterion that parallelism trades wall time only, never
+// reproducibility of lcurve.out.
+func TestTrainParallelBitIdentical(t *testing.T) {
+	d := tinyData(t, 6)
+	train, val := d.Split(0.33)
+
+	run := func(threads int) ([]LCurveRecord, string) {
+		m := newTestModel(t, 23)
+		var buf bytes.Buffer
+		cfg := TrainConfig{
+			Steps: 6, BatchSize: 2, StartLR: 1e-3, StopLR: 1e-5,
+			Workers: 2, DispFreq: 2, Threads: threads, Seed: 9,
+		}
+		res, err := Train(context.Background(), m, train, val, cfg, &buf)
+		if err != nil {
+			t.Fatalf("Train(threads=%d): %v", threads, err)
+		}
+		return res.LCurve, buf.String()
+	}
+
+	lc1, out1 := run(1)
+	lc4, out4 := run(4)
+	if len(lc1) != len(lc4) {
+		t.Fatalf("lcurve lengths differ: %d vs %d", len(lc1), len(lc4))
+	}
+	for i := range lc1 {
+		if lc1[i] != lc4[i] {
+			t.Fatalf("lcurve record %d differs:\nserial   %+v\nparallel %+v", i, lc1[i], lc4[i])
+		}
+	}
+	if out1 != out4 {
+		t.Fatalf("lcurve.out text differs between serial and parallel runs")
+	}
+}
+
+// TestNeighborListSkinCoversFDDisplacement checks the training-loop skin
+// contract directly: a list built at the frame coordinates with skin 4h
+// must give bit-identical results at coordinates displaced by h along a
+// unit direction — the exact evaluation pattern of accumulateFrameGrad.
+func TestNeighborListSkinCoversFDDisplacement(t *testing.T) {
+	m := newTestModel(t, 24)
+	d := tinyData(t, 1)
+	fr := &d.Frames[0]
+	const h = 1e-4
+
+	var nl neighbor.List
+	nl.Build(fr.Coord, fr.Box, m.Cfg.Descriptor.RCut, 4*h)
+
+	rng := rand.New(rand.NewSource(31))
+	moved := make([]float64, len(fr.Coord))
+	dir := make([]float64, len(fr.Coord))
+	var norm float64
+	for k := range dir {
+		dir[k] = rng.NormFloat64()
+		norm += dir[k] * dir[k]
+	}
+	norm = 1 / math.Sqrt(norm+1e-30)
+	for k := range moved {
+		moved[k] = fr.Coord[k] + h*dir[k]*norm
+	}
+
+	forces := make([]float64, len(fr.Coord))
+	eNL := m.EnergyForcesNL(&nl, moved, d.Types, fr.Box, forces)
+	eFresh, fFresh := m.EnergyForces(moved, d.Types, fr.Box)
+	if eNL != eFresh {
+		t.Fatalf("energy with stale-list differs: %v vs %v", eNL, eFresh)
+	}
+	for k := range forces {
+		if forces[k] != fFresh[k] {
+			t.Fatalf("force[%d] with stale-list differs: %v vs %v", k, forces[k], fFresh[k])
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ddp"
+	"repro/internal/neighbor"
 	"repro/internal/nn"
 )
 
@@ -38,6 +39,12 @@ type TrainConfig struct {
 	// ForceFDh is the step for the central-difference directional
 	// derivative used in the force-loss gradient; 0 means 1e-4 Å.
 	ForceFDh float64
+	// Threads bounds the evaluation worker pool: per-atom parallelism
+	// inside gradient accumulation and per-frame parallelism in the
+	// validation evaluations.  0 means GOMAXPROCS.  Training output is
+	// bit-identical for every value — gradient shards are merged in a
+	// fixed order — so Threads trades wall time only.
+	Threads int
 	// Seed drives batch sampling.
 	Seed int64
 }
@@ -107,6 +114,7 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	initBias(m, train)
+	m.SetThreads(cfg.Threads)
 
 	sched := nn.ExpDecaySchedule{Start: cfg.StartLR, Stop: cfg.StopLR, TotalSteps: cfg.Steps}
 	opt := nn.NewAdam()
@@ -115,6 +123,15 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 	grads := make([][]float64, cfg.Workers)
 	for w := range grads {
 		grads[w] = make([]float64, nParams)
+	}
+	fs := &frameScratch{}
+
+	// How many training frames each rmse_*_trn evaluation sees: ValFrames
+	// capped to the training set, where 0 (like EvalErrors' contract)
+	// means all frames.
+	trnFrames := cfg.ValFrames
+	if trnFrames <= 0 || trnFrames > train.Len() {
+		trnFrames = train.Len()
 	}
 
 	res := &TrainResult{}
@@ -136,7 +153,7 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 			m.ZeroGrad()
 			for b := 0; b < cfg.BatchSize; b++ {
 				fr := &train.Frames[rng.Intn(train.Len())]
-				if err := accumulateFrameGrad(m, train.Types, fr, pe, pf, h); err != nil {
+				if err := accumulateFrameGrad(m, train.Types, fr, pe, pf, h, fs); err != nil {
 					return res, err
 				}
 			}
@@ -155,7 +172,7 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 		if (step+1)%cfg.DispFreq == 0 || step == cfg.Steps-1 {
 			rec := LCurveRecord{Step: step + 1, LR: lr}
 			rec.RmseEVal, rec.RmseFVal = EvalErrors(m, val, cfg.ValFrames)
-			rec.RmseETrn, rec.RmseFTrn = EvalErrors(m, train, min(cfg.ValFrames, train.Len()))
+			rec.RmseETrn, rec.RmseFTrn = EvalErrors(m, train, trnFrames)
 			res.LCurve = append(res.LCurve, rec)
 			writeRecord(lcurve, rec)
 			if !finite(rec.RmseEVal) || !finite(rec.RmseFVal) {
@@ -170,6 +187,26 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 	return res, nil
 }
 
+// frameScratch holds per-frame training buffers that live for the whole
+// run: the shared neighbor list, the force-residual direction v, the
+// displaced coordinates, and the predicted-force buffer.  Reusing them
+// removes every per-frame allocation from the training hot path.
+type frameScratch struct {
+	nl     neighbor.List
+	v      []float64
+	pos    []float64
+	forces []float64
+}
+
+func (fs *frameScratch) resize(n3 int) {
+	if cap(fs.v) < n3 {
+		fs.v = make([]float64, n3)
+		fs.pos = make([]float64, n3)
+		fs.forces = make([]float64, n3)
+	}
+	fs.v, fs.pos, fs.forces = fs.v[:n3], fs.pos[:n3], fs.forces[:n3]
+}
+
 // accumulateFrameGrad adds one frame's loss gradient to the model's
 // accumulators.
 //
@@ -181,20 +218,28 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 // difference [∂E/∂θ(x+h·v̂) − ∂E/∂θ(x−h·v̂)]·|v|/(2h) — second-order
 // backprop through the descriptor without implementing a second autodiff
 // pass (the role TensorFlow's double-gradient plays in DeePMD-kit).
-func accumulateFrameGrad(m *Model, types []int, fr *dataset.Frame, pe, pf, h float64) error {
+//
+// One neighbor list serves all four model evaluations of the frame: the
+// ±h·v̂ displacements move every atom by at most h, so a skin of a few h
+// keeps the candidate list valid at the perturbed coordinates.
+func accumulateFrameGrad(m *Model, types []int, fr *dataset.Frame, pe, pf, h float64, fs *frameScratch) error {
 	n := len(types)
-	ePred, fPred := m.EnergyForces(fr.Coord, types, fr.Box)
+	fs.resize(len(fr.Coord))
+	fs.nl.Build(fr.Coord, fr.Box, m.Cfg.Descriptor.RCut, 4*h)
+
+	ePred := m.EnergyForcesNL(&fs.nl, fr.Coord, types, fr.Box, fs.forces)
+	fPred := fs.forces
 	if !finite(ePred) {
 		return ErrDiverged
 	}
 	dE := ePred - fr.Energy
 
 	// Energy-loss gradient.
-	m.AccumulateEnergyGrad(fr.Coord, types, fr.Box, 2*pe*dE/float64(n*n))
+	m.AccumulateEnergyGradNL(&fs.nl, fr.Coord, types, fr.Box, 2*pe*dE/float64(n*n))
 
 	// Force-loss gradient via directional central difference.
 	var vnorm float64
-	v := make([]float64, len(fPred))
+	v := fs.v
 	for k := range v {
 		v[k] = fPred[k] - fr.Force[k]
 		vnorm += v[k] * v[k]
@@ -203,16 +248,16 @@ func accumulateFrameGrad(m *Model, types []int, fr *dataset.Frame, pe, pf, h flo
 	if vnorm < 1e-14 {
 		return nil // forces already exact; no gradient contribution
 	}
-	pos := make([]float64, len(fr.Coord))
+	pos := fs.pos
 	scale := -(2 * pf / float64(3*n)) * vnorm / (2 * h)
 	for k := range pos {
 		pos[k] = fr.Coord[k] + h*v[k]/vnorm
 	}
-	m.AccumulateEnergyGrad(pos, types, fr.Box, scale)
+	m.AccumulateEnergyGradNL(&fs.nl, pos, types, fr.Box, scale)
 	for k := range pos {
 		pos[k] = fr.Coord[k] - h*v[k]/vnorm
 	}
-	m.AccumulateEnergyGrad(pos, types, fr.Box, -scale)
+	m.AccumulateEnergyGradNL(&fs.nl, pos, types, fr.Box, -scale)
 	return nil
 }
 
@@ -220,7 +265,9 @@ func accumulateFrameGrad(m *Model, types []int, fr *dataset.Frame, pe, pf, h flo
 // predicts the training-set mean energy, the same trick DeePMD uses to
 // avoid learning a huge constant.
 func initBias(m *Model, d *dataset.Dataset) {
-	if d.Len() == 0 {
+	if d.Len() == 0 || d.NAtoms() == 0 {
+		// A nil or empty-but-nonnil dataset has no frames or no atoms to
+		// average over; dividing by NAtoms() would poison the biases.
 		return
 	}
 	mean := 0.0
@@ -244,10 +291,3 @@ func scaleFlat(m *Model, s float64) {
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

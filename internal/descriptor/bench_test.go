@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	neigh "repro/internal/neighbor"
 	"repro/internal/nn"
 )
 
@@ -47,6 +48,7 @@ func BenchmarkForwardByRCut(b *testing.B) {
 	for _, rcut := range []float64{6, 8, 10, 12} {
 		d := paperScaleDescriptor(b, rcut)
 		b.Run(fmt.Sprintf("rcut=%v", rcut), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				d.Forward(coord, types, 17.84, i%160)
 			}
@@ -63,9 +65,35 @@ func BenchmarkForwardBackward(b *testing.B) {
 		dOut[i] = 1
 	}
 	dcoord := make([]float64, len(coord))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env := d.Forward(coord, types, 17.84, i%160)
+		d.Backward(env, dOut, dcoord, true)
+	}
+}
+
+// BenchmarkForwardEnvReuse is the allocation-regression benchmark for the
+// descriptor hot path as the model drives it: one reusable Env, candidate
+// lists from a cell list built once per configuration.  allocs/op should
+// be zero in steady state.
+func BenchmarkForwardEnvReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	coord, types := benchConfiguration(rng, 160, 17.84)
+	d := paperScaleDescriptor(b, 6.0)
+	var nl neigh.List
+	nl.Build(coord, 17.84, 6.0, 0)
+	var env *Env
+	dOut := make([]float64, d.Cfg.OutDim())
+	for i := range dOut {
+		dOut[i] = 1
+	}
+	dcoord := make([]float64, len(coord))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i % 160
+		env = d.ForwardEnv(env, coord, types, 17.84, c, nl.Candidates(c))
 		d.Backward(env, dOut, dcoord, true)
 	}
 }

@@ -72,6 +72,22 @@ type Descriptor struct {
 	// (index = neighbour type); with PairTypeEmbedding there is one per
 	// (center, neighbour) pair (index = center·NumSpecies + neighbour).
 	Embed []*nn.MLP
+
+	// params caches the Params() view (built by New/ShadowClone).
+	params []nn.ParamGrad
+}
+
+// ShadowClone returns a descriptor sharing this one's embedding
+// parameters but owning private gradient accumulators, so concurrent
+// workers can call Backward with train=true without racing; shards are
+// merged per embedding net with nn.AddGradsAndReset.
+func (d *Descriptor) ShadowClone() *Descriptor {
+	s := &Descriptor{Cfg: d.Cfg, Switch: d.Switch, Embed: make([]*nn.MLP, len(d.Embed))}
+	for i, m := range d.Embed {
+		s.Embed[i] = m.ShadowClone()
+	}
+	s.params = s.buildParams()
+	return s
 }
 
 // embedIndex selects the embedding network for a center/neighbour type
@@ -108,6 +124,7 @@ func New(rng *rand.Rand, cfg Config) (*Descriptor, error) {
 		// nonlinearity).
 		d.Embed = append(d.Embed, nn.NewMLP(rng, 1, hidden, cfg.M1(), cfg.Activation))
 	}
+	d.params = d.buildParams()
 	return d, nil
 }
 
@@ -119,33 +136,82 @@ type neighbor struct {
 	r        float64    // |d|
 	s        float64    // s(r)
 	ds       float64    // ds/dr
-	g        []float64  // embedding output, len M1
-	tape     *nn.Tape   // embedding forward tape
+	sIn      [1]float64 // embedding input buffer (avoids a per-call alloc)
+	g        []float64  // embedding output, len M1 (tape-owned)
+	tape     *nn.Tape   // embedding forward tape, reused across Forwards
 	rhat     [4]float64 // environment row (s, s·dx/r, s·dy/r, s·dz/r)
 }
 
 // Env is the evaluated environment of one atom, retained for backprop.
+// An Env is reusable: passing it back to ForwardEnv recycles every
+// internal buffer (neighbor slots, embedding tapes, descriptor and
+// backprop scratch), making steady-state evaluation allocation-free.
 type Env struct {
 	center int
-	nbrs   []neighbor
+	nbrs   []neighbor // slot pool; the first n entries are active
+	n      int
 	t1     []float64 // 4×M1 row-major: T1[a][m] = Σ_j R̃_j[a]·G_j[m] / norm
 	out    []float64 // flattened descriptor, M1×M2
+
+	// Backward scratch, reused across calls.
+	dT1 []float64
+	dg  []float64
+
+	// Per-call bookkeeping for shard merging: which embedding nets this
+	// environment touched (first-touch order) and which atoms appear.
+	embedTouched []bool
+	embedNets    []int
+	nbrAtoms     []int
 }
 
 // Out returns the descriptor vector (owned by the Env; do not mutate).
 func (e *Env) Out() []float64 { return e.out }
 
+// Center returns the center atom index of the last ForwardEnv call.
+func (e *Env) Center() int { return e.center }
+
+// NeighborAtoms returns the indices of the atoms in the environment, in
+// ascending order.  The slice is Env-owned scratch.
+func (e *Env) NeighborAtoms() []int { return e.nbrAtoms }
+
+// EmbedNets returns the indices of the embedding networks used by the
+// environment, in first-touch order.  The slice is Env-owned scratch.
+func (e *Env) EmbedNets() []int { return e.embedNets }
+
 // Forward evaluates the descriptor of atom i in a configuration given by
 // flat coordinates (atom-major xyz), per-atom types, and cubic box length
 // (0 disables periodicity).  The returned Env supports Backward.
 func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *Env {
-	n := len(types)
+	return d.ForwardEnv(nil, coord, types, box, i, nil)
+}
+
+// ForwardEnv is Forward with explicit scratch reuse and an optional
+// candidate list.  env may be nil (a fresh one is allocated) or a
+// previously returned Env whose buffers are recycled.  cand, when
+// non-nil, restricts the neighbour scan to the given ascending candidate
+// indices (typically from a neighbor.List built with a skin); distances
+// are still measured against coord, so any candidate superset of the
+// true neighbourhood yields results bit-identical to the full scan.
+func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box float64, i int, cand []int) *Env {
+	if env == nil {
+		env = &Env{}
+	}
 	m1 := d.Cfg.M1()
-	env := &Env{center: i}
+	env.center = i
+	env.n = 0
+	if len(env.embedTouched) != len(d.Embed) {
+		env.embedTouched = make([]bool, len(d.Embed))
+	}
+	for _, e := range env.embedNets {
+		env.embedTouched[e] = false
+	}
+	env.embedNets = env.embedNets[:0]
+	env.nbrAtoms = env.nbrAtoms[:0]
+
 	rc2 := d.Cfg.RCut * d.Cfg.RCut
-	for j := 0; j < n; j++ {
+	consider := func(j int) {
 		if j == i {
-			continue
+			return
 		}
 		var dd [3]float64
 		r2 := 0.0
@@ -158,24 +224,48 @@ func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *
 			r2 += dk * dk
 		}
 		if r2 >= rc2 || r2 == 0 {
-			continue
+			return
 		}
+		if env.n == len(env.nbrs) {
+			env.nbrs = append(env.nbrs, neighbor{})
+		}
+		nb := &env.nbrs[env.n]
+		env.n++
 		r := math.Sqrt(r2)
 		s, ds := d.Switch.EvalDeriv(r)
 		eIdx := d.embedIndex(types[i], types[j])
-		g, tape := d.Embed[eIdx].Forward([]float64{s})
-		nb := neighbor{j: j, embedIdx: eIdx, d: dd, r: r, s: s, ds: ds, g: g, tape: tape}
+		nb.j, nb.embedIdx, nb.d, nb.r, nb.s, nb.ds = j, eIdx, dd, r, s, ds
+		if nb.tape == nil {
+			nb.tape = &nn.Tape{}
+		}
+		nb.sIn[0] = s
+		nb.g = d.Embed[eIdx].ForwardT(nb.tape, nb.sIn[:])
 		nb.rhat[0] = s
 		for k := 0; k < 3; k++ {
 			nb.rhat[k+1] = s * dd[k] / r
 		}
-		env.nbrs = append(env.nbrs, nb)
+		if !env.embedTouched[eIdx] {
+			env.embedTouched[eIdx] = true
+			env.embedNets = append(env.embedNets, eIdx)
+		}
+		env.nbrAtoms = append(env.nbrAtoms, j)
+	}
+	if cand != nil {
+		for _, j := range cand {
+			consider(j)
+		}
+	} else {
+		for j := range types {
+			consider(j)
+		}
 	}
 
 	// T1[a][m] = Σ_j R̃_j[a] G_j[m] / norm.
-	t1 := make([]float64, 4*m1)
+	env.t1 = ensureZeroed(env.t1, 4*m1)
+	t1 := env.t1
 	inv := 1 / d.Cfg.NeighborNorm
-	for _, nb := range env.nbrs {
+	for ni := 0; ni < env.n; ni++ {
+		nb := &env.nbrs[ni]
 		for a := 0; a < 4; a++ {
 			ra := nb.rhat[a] * inv
 			row := t1[a*m1 : (a+1)*m1]
@@ -184,11 +274,14 @@ func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *
 			}
 		}
 	}
-	env.t1 = t1
 
 	// D[m1][m2] = Σ_a T1[a][m1]·T1[a][m2],  m2 < M2.
 	m2n := d.Cfg.AxisNeurons
-	out := make([]float64, m1*m2n)
+	if cap(env.out) < m1*m2n {
+		env.out = make([]float64, m1*m2n)
+	}
+	env.out = env.out[:m1*m2n]
+	out := env.out
 	for mi := 0; mi < m1; mi++ {
 		for mj := 0; mj < m2n; mj++ {
 			sum := 0.0
@@ -198,8 +291,20 @@ func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *
 			out[mi*m2n+mj] = sum
 		}
 	}
-	env.out = out
 	return env
+}
+
+// ensureZeroed returns buf resized to n with every element zero, reusing
+// the backing array when possible.
+func ensureZeroed(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // Backward propagates dL/dD (flattened M1×M2) through the descriptor,
@@ -212,7 +317,8 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 	t1 := env.t1
 
 	// dL/dT1[a][m] from D = T1ᵀ·T1[:, :M2].
-	dT1 := make([]float64, 4*m1)
+	env.dT1 = ensureZeroed(env.dT1, 4*m1)
+	dT1 := env.dT1
 	for a := 0; a < 4; a++ {
 		ta := t1[a*m1 : (a+1)*m1]
 		da := dT1[a*m1 : (a+1)*m1]
@@ -233,9 +339,11 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 	}
 
 	inv := 1 / d.Cfg.NeighborNorm
-	for _, nb := range env.nbrs {
+	for ni := 0; ni < env.n; ni++ {
+		nb := &env.nbrs[ni]
 		// dL/dG_j[m] = Σ_a dT1[a][m]·R̃_j[a]/norm
-		dg := make([]float64, m1)
+		env.dg = ensureZeroed(env.dg, m1)
+		dg := env.dg
 		// dL/dR̃_j[a] = Σ_m dT1[a][m]·G_j[m]/norm
 		var dr [4]float64
 		for a := 0; a < 4; a++ {
@@ -292,8 +400,16 @@ func (d *Descriptor) ZeroGrad() {
 	}
 }
 
-// Params returns all embedding parameters for the optimizer.
+// Params returns all embedding parameters for the optimizer.  The result
+// is cached at construction; callers must not append to it.
 func (d *Descriptor) Params() []nn.ParamGrad {
+	if d.params != nil {
+		return d.params
+	}
+	return d.buildParams()
+}
+
+func (d *Descriptor) buildParams() []nn.ParamGrad {
 	var out []nn.ParamGrad
 	for _, m := range d.Embed {
 		out = append(out, m.Params()...)

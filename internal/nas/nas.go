@@ -61,7 +61,7 @@ func (p Params) EmbeddingSizes() []int {
 	sizes := make([]int, p.EmbDepth)
 	w := p.EmbWidth
 	for i := p.EmbDepth - 1; i >= 0; i-- {
-		sizes[i] = maxInt(w, 2)
+		sizes[i] = max(w, 2)
 		w /= 2
 	}
 	return sizes
@@ -72,7 +72,7 @@ func (p Params) EmbeddingSizes() []int {
 func (p Params) FittingSizes() []int {
 	sizes := make([]int, p.FitDepth)
 	for i := range sizes {
-		sizes[i] = maxInt(p.FitWidth, 2)
+		sizes[i] = max(p.FitWidth, 2)
 	}
 	return sizes
 }
@@ -131,9 +131,9 @@ func Decode(g ea.Genome) (Params, error) {
 	}
 	return Params{
 		HParams:  base,
-		EmbWidth: maxInt(int(math.Round(g[GeneEmbWidth])), 4),
+		EmbWidth: max(int(math.Round(g[GeneEmbWidth])), 4),
 		EmbDepth: hpo.DecodeCategorical(g[GeneEmbDepth], 3) + 1,
-		FitWidth: maxInt(int(math.Round(g[GeneFitWidth])), 4),
+		FitWidth: max(int(math.Round(g[GeneFitWidth])), 4),
 		FitDepth: hpo.DecodeCategorical(g[GeneFitDepth], 3) + 1,
 	}, nil
 }
@@ -154,9 +154,3 @@ func Encode(p Params) (ea.Genome, error) {
 	return g, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

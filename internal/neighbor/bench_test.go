@@ -1,0 +1,33 @@
+package neighbor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBuild compares the cell-list build against the quadratic scan
+// at growing atom counts (fixed density, so the box scales with n).
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		rng := rand.New(rand.NewSource(1))
+		// ~0.05 atoms/Å³, water-ish number density.
+		box := math.Cbrt(float64(n) / 0.05)
+		coord := randCoords(rng, n, box)
+		b.Run(fmt.Sprintf("cell/n=%d", n), func(b *testing.B) {
+			var l List
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Build(coord, box, 6, 0.5)
+			}
+		})
+		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			var l List
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.BuildBrute(coord, box, 6, 0.5)
+			}
+		})
+	}
+}

@@ -37,42 +37,69 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 	return d
 }
 
-// trace holds per-sample state needed for backprop.
+// trace holds per-sample state needed for backprop.  All buffers are
+// owned by the trace and reused when the trace is replayed through
+// forwardInto/Backward, so a tape-reusing caller allocates nothing in
+// steady state.
 type trace struct {
 	input  []float64
 	preact []float64
+	out    []float64
+	dx     []float64
 }
 
-// Forward computes the layer output for input x, returning the output and
-// a trace for Backward.  The trace keeps Forward re-entrant so a single
-// layer can serve many atoms in one configuration.
-func (d *Dense) Forward(x []float64) (out []float64, tr *trace) {
+// ensureLen returns buf resized to n, reusing its backing array when the
+// capacity allows.
+func ensureLen(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// forwardInto computes the layer output into the trace's reusable
+// buffers and returns the output slice (owned by the trace).
+func (d *Dense) forwardInto(tr *trace, x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense input %d, want %d", len(x), d.In))
 	}
-	pre := make([]float64, d.Out)
-	out = make([]float64, d.Out)
+	tr.input = ensureLen(tr.input, d.In)
+	copy(tr.input, x)
+	tr.preact = ensureLen(tr.preact, d.Out)
+	tr.out = ensureLen(tr.out, d.Out)
 	for o := 0; o < d.Out; o++ {
 		s := d.B[o]
 		row := d.W[o*d.In : (o+1)*d.In]
 		for i, xi := range x {
 			s += row[i] * xi
 		}
-		pre[o] = s
-		out[o] = d.Act.Apply(s)
+		tr.preact[o] = s
+		tr.out[o] = d.Act.Apply(s)
 	}
-	in := make([]float64, len(x))
-	copy(in, x)
-	return out, &trace{input: in, preact: pre}
+	return tr.out
+}
+
+// Forward computes the layer output for input x, returning the output and
+// a trace for Backward.  The trace keeps Forward re-entrant so a single
+// layer can serve many atoms in one configuration.
+func (d *Dense) Forward(x []float64) (out []float64, tr *trace) {
+	tr = &trace{}
+	return d.forwardInto(tr, x), tr
 }
 
 // Backward accumulates parameter gradients given the upstream gradient
-// dL/dy and returns dL/dx.  Call ZeroGrad before a new minibatch.
+// dL/dy and returns dL/dx.  The returned slice is owned by the trace and
+// overwritten by the next Backward/InputGrad replay of the same trace.
+// Call ZeroGrad before a new minibatch.
 func (d *Dense) Backward(tr *trace, dy []float64) (dx []float64) {
 	if len(dy) != d.Out {
 		panic(fmt.Sprintf("nn: dense upstream grad %d, want %d", len(dy), d.Out))
 	}
-	dx = make([]float64, d.In)
+	tr.dx = ensureLen(tr.dx, d.In)
+	dx = tr.dx
+	for i := range dx {
+		dx[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		g := dy[o] * d.Act.Deriv(tr.preact[o])
 		d.GradB[o] += g
@@ -88,9 +115,14 @@ func (d *Dense) Backward(tr *trace, dy []float64) (dx []float64) {
 
 // InputGrad returns dL/dx without touching the parameter-gradient
 // accumulators; used for force evaluation at inference time where only the
-// energy gradient with respect to coordinates is needed.
+// energy gradient with respect to coordinates is needed.  The returned
+// slice is trace-owned scratch, like Backward's.
 func (d *Dense) InputGrad(tr *trace, dy []float64) (dx []float64) {
-	dx = make([]float64, d.In)
+	tr.dx = ensureLen(tr.dx, d.In)
+	dx = tr.dx
+	for i := range dx {
+		dx[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		g := dy[o] * d.Act.Deriv(tr.preact[o])
 		row := d.W[o*d.In : (o+1)*d.In]
@@ -99,6 +131,20 @@ func (d *Dense) InputGrad(tr *trace, dy []float64) (dx []float64) {
 		}
 	}
 	return dx
+}
+
+// ShadowClone returns a layer sharing this layer's parameters (W and B
+// alias the receiver's storage) but owning fresh, zeroed gradient
+// accumulators.  Shadow layers let concurrent workers accumulate
+// gradients without racing on the shared accumulators; the shards are
+// merged with AddGradsAndReset.
+func (d *Dense) ShadowClone() *Dense {
+	return &Dense{
+		In: d.In, Out: d.Out, Act: d.Act,
+		W: d.W, B: d.B,
+		GradW: make([]float64, len(d.GradW)),
+		GradB: make([]float64, len(d.GradB)),
+	}
 }
 
 // ZeroGrad clears the gradient accumulators.
@@ -117,6 +163,10 @@ func (d *Dense) ParamCount() int { return len(d.W) + len(d.B) }
 // MLP is a feed-forward stack of dense layers.
 type MLP struct {
 	Layers []*Dense
+
+	// params caches the Params() view; built once by the constructors so
+	// hot loops don't rebuild the slice every call.
+	params []ParamGrad
 }
 
 // NewMLP builds a network with the given hidden sizes and activation,
@@ -131,25 +181,65 @@ func NewMLP(rng *rand.Rand, inDim int, hidden []int, outDim int, act Activation)
 		prev = h
 	}
 	m.Layers = append(m.Layers, NewDense(rng, prev, outDim, Identity))
+	m.params = m.buildParams()
 	return m
 }
 
+// ShadowClone returns an MLP whose layers share the receiver's parameters
+// but own private gradient accumulators.  See Dense.ShadowClone.
+func (m *MLP) ShadowClone() *MLP {
+	s := &MLP{Layers: make([]*Dense, len(m.Layers))}
+	for i, l := range m.Layers {
+		s.Layers[i] = l.ShadowClone()
+	}
+	s.params = s.buildParams()
+	return s
+}
+
+// AddGradsAndReset adds src's gradient accumulators into dst's and zeroes
+// src's, in a fixed parameter order.  dst and src must share an
+// architecture (typically src is dst.ShadowClone()).
+func AddGradsAndReset(dst, src *MLP) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		dg, sg := dp[i].Grad, sp[i].Grad
+		for j := range dg {
+			dg[j] += sg[j]
+			sg[j] = 0
+		}
+	}
+}
+
 // Tape records the traces of one forward pass so the matching backward
-// pass can be replayed.
+// pass can be replayed.  A Tape may be reused across forward passes (and
+// across networks of identical layer shapes) via ForwardT; reuse makes
+// the forward/backward pair allocation-free in steady state.
 type Tape struct {
 	traces []*trace
 }
 
-// Forward runs the network on x and returns the output plus a tape.
+// Forward runs the network on x and returns the output plus a fresh tape.
 func (m *MLP) Forward(x []float64) ([]float64, *Tape) {
-	tape := &Tape{traces: make([]*trace, len(m.Layers))}
+	tape := &Tape{}
+	return m.ForwardT(tape, x), tape
+}
+
+// ForwardT runs the network on x, recording traces into tape.  The tape's
+// buffers are reused when their shapes match, so repeated calls with the
+// same tape do not allocate.  The returned output slice is owned by the
+// tape and overwritten by the next ForwardT call.
+func (m *MLP) ForwardT(tape *Tape, x []float64) []float64 {
+	if len(tape.traces) != len(m.Layers) {
+		tape.traces = make([]*trace, len(m.Layers))
+		for i := range tape.traces {
+			tape.traces[i] = &trace{}
+		}
+	}
 	cur := x
 	for i, l := range m.Layers {
-		var tr *trace
-		cur, tr = l.Forward(cur)
-		tape.traces[i] = tr
+		cur = l.forwardInto(tape.traces[i], cur)
 	}
-	return cur, tape
+	return cur
 }
 
 // Backward accumulates parameter gradients for the recorded pass and
@@ -189,9 +279,17 @@ func (m *MLP) ParamCount() int {
 }
 
 // Params returns views of every parameter slice paired with its gradient
-// accumulator, in a stable order, for optimizers and allreduce.
+// accumulator, in a stable order, for optimizers and allreduce.  The
+// result is cached at construction; callers must not append to it.
 func (m *MLP) Params() []ParamGrad {
-	var out []ParamGrad
+	if m.params != nil {
+		return m.params
+	}
+	return m.buildParams()
+}
+
+func (m *MLP) buildParams() []ParamGrad {
+	out := make([]ParamGrad, 0, 2*len(m.Layers))
 	for _, l := range m.Layers {
 		out = append(out, ParamGrad{Param: l.W, Grad: l.GradW}, ParamGrad{Param: l.B, Grad: l.GradB})
 	}
