@@ -6,9 +6,14 @@
 //
 // Usage:
 //
-//	cluster -mode scheduler [-addr 127.0.0.1:7077]
-//	cluster -mode worker    [-addr 127.0.0.1:7077] [-name w0] [-seed 2023]
+//	cluster -mode scheduler [-addr 127.0.0.1:7077] [-lease 10m] [-stats 30s] [-events]
+//	cluster -mode worker    [-addr 127.0.0.1:7077] [-name w0] [-seed 2023] [-task-timeout 2h] [-heartbeat 15s]
 //	cluster -mode drive     [-addr 127.0.0.1:7077] [-runs 1] [-pop 20] [-gens 3]
+//
+// The scheduler prints its Stats line every -stats interval and, on
+// Unix, dumps aggregate plus per-worker counters on SIGUSR1.  Workers
+// reconnect to a bounced scheduler with exponential backoff and renew
+// their task leases with heartbeats while a training runs.
 package main
 
 import (
@@ -34,6 +39,12 @@ func main() {
 	runs := flag.Int("runs", 1, "drive: independent EA runs")
 	pop := flag.Int("pop", 20, "drive: population size")
 	gens := flag.Int("gens", 3, "drive: offspring generations")
+	lease := flag.Duration("lease", 0, "scheduler: per-task lease; 0 disables the liveness backstop")
+	statsEvery := flag.Duration("stats", 30*time.Second, "scheduler: periodic stats line interval; 0 disables")
+	events := flag.Bool("events", false, "scheduler: log every lifecycle event")
+	taskTimeout := flag.Duration("task-timeout", 2*time.Hour, "worker: per-task execution cap (the paper's two-hour limit)")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "worker: lease-renewal interval while executing; 0 disables")
+	maxReconnects := flag.Int("max-reconnects", 0, "worker: consecutive failed re-dials before giving up; 0 retries forever")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -46,8 +57,34 @@ func main() {
 			log.Fatalf("scheduler: %v", err)
 		}
 		sched.Logf = log.Printf
+		sched.TaskTimeout = *lease
+		if *events {
+			sched.OnEvent = func(e cluster.Event) { log.Printf("event: %s", e) }
+		}
 		fmt.Printf("scheduler listening on %s (Ctrl-C to stop)\n", sched.Addr())
+		dump := func() {
+			log.Printf("stats: %s", sched)
+			for _, ws := range sched.WorkerStats() {
+				log.Printf("stats: %s", ws)
+			}
+		}
+		notifyDumpSignal(ctx, dump)
+		if *statsEvery > 0 {
+			go func() {
+				ticker := time.NewTicker(*statsEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ticker.C:
+						dump()
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
 		<-ctx.Done()
+		dump()
 		fmt.Printf("final stats: %s\n", sched)
 		sched.Close()
 
@@ -57,7 +94,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("worker: %v", err)
 		}
-		w.TaskTimeout = 2 * time.Hour
+		w.TaskTimeout = *taskTimeout
+		w.Heartbeat = *heartbeat
+		w.MaxReconnects = *maxReconnects
+		w.Logf = log.Printf
 		fmt.Printf("worker %q connected to %s\n", *name, *addr)
 		if err := w.Run(ctx); err != nil {
 			log.Fatalf("worker exited: %v", err)
@@ -68,6 +108,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("client: %v", err)
 		}
+		client.Logf = log.Printf
 		defer client.Close()
 		res, err := hpo.RunCampaign(ctx, hpo.CampaignConfig{
 			Runs: *runs, PopSize: *pop, Generations: *gens,

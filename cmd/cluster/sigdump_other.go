@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "context"
+
+// notifyDumpSignal is a no-op on platforms without SIGUSR1; the periodic
+// -stats ticker remains available.
+func notifyDumpSignal(context.Context, func()) {}

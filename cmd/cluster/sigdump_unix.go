@@ -1,0 +1,28 @@
+//go:build unix
+
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifyDumpSignal invokes dump on SIGUSR1 — `kill -USR1 <pid>` pulls an
+// on-demand stats snapshot out of a running scheduler without stopping it.
+func notifyDumpSignal(ctx context.Context, dump func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		defer signal.Stop(ch)
+		for {
+			select {
+			case <-ch:
+				dump()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

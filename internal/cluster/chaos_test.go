@@ -1,0 +1,953 @@
+package cluster
+
+// This file is the fault-injection harness for the evaluation plane: a
+// deterministic chaos TCP proxy that can cut, blackhole, delay, and
+// truncate traffic between peers and the scheduler, plus the failure-path
+// tests that exercise every recovery mechanism — lease expiry, stale
+// result discard, duplicate accounting, asynchronous task timeout, worker
+// and client reconnection, and a full scheduler bounce mid-campaign.
+// Faults are driven explicitly from the tests (no randomness), so each
+// recovery path is reproduced on every run.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ea"
+	"repro/internal/nsga2"
+)
+
+// chaosProxy forwards TCP between accepted connections and a target
+// address, applying injected faults on the way.
+type chaosProxy struct {
+	ln     net.Listener
+	target string
+
+	mu        sync.Mutex
+	pipes     []*chaosPipe
+	blackhole bool          // swallow all forwarded bytes (peers see a hang)
+	delay     time.Duration // added before each forwarded chunk
+	truncate  int           // >0: forward this many more bytes toward the target side, then cut
+	closed    bool
+}
+
+type chaosPipe struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+func (p *chaosPipe) close() {
+	p.once.Do(func() {
+		p.client.Close()
+		p.server.Close()
+	})
+}
+
+func newChaosProxy(t *testing.T, target string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("chaos proxy listen: %v", err)
+	}
+	cp := &chaosProxy{ln: ln, target: target}
+	go cp.acceptLoop()
+	t.Cleanup(cp.Close)
+	return cp
+}
+
+func (cp *chaosProxy) Addr() string { return cp.ln.Addr().String() }
+
+func (cp *chaosProxy) acceptLoop() {
+	for {
+		conn, err := cp.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", cp.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		pipe := &chaosPipe{client: conn, server: server}
+		cp.mu.Lock()
+		if cp.closed {
+			cp.mu.Unlock()
+			pipe.close()
+			return
+		}
+		cp.pipes = append(cp.pipes, pipe)
+		cp.mu.Unlock()
+		go cp.forward(server, conn, pipe, true)  // client → server (toward scheduler)
+		go cp.forward(conn, server, pipe, false) // server → client
+	}
+}
+
+// forward copies src to dst, consulting the fault settings before every
+// chunk.  Truncation applies to the toward-target direction only, so a
+// test can slice a specific frame in half.
+func (cp *chaosProxy) forward(dst, src net.Conn, pipe *chaosPipe, towardTarget bool) {
+	defer pipe.close()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			cp.mu.Lock()
+			delay, blackhole := cp.delay, cp.blackhole
+			cut := false
+			limit := n
+			if towardTarget && cp.truncate > 0 {
+				if n >= cp.truncate {
+					limit = cp.truncate
+					cp.truncate = 0
+					cut = true
+				} else {
+					cp.truncate -= n
+				}
+			}
+			cp.mu.Unlock()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if !blackhole {
+				if _, werr := dst.Write(buf[:limit]); werr != nil {
+					return
+				}
+			}
+			if cut {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// CutAll severs every live pipe, simulating a network partition or a
+// scheduler crash as seen from the proxied peers.
+func (cp *chaosProxy) CutAll() {
+	cp.mu.Lock()
+	pipes := append([]*chaosPipe(nil), cp.pipes...)
+	cp.pipes = cp.pipes[:0]
+	cp.mu.Unlock()
+	for _, p := range pipes {
+		p.close()
+	}
+}
+
+// SetBlackhole toggles silent byte-dropping: connections stay up but no
+// data flows, the signature of a hung NIC or a stalled node.
+func (cp *chaosProxy) SetBlackhole(on bool) {
+	cp.mu.Lock()
+	cp.blackhole = on
+	cp.mu.Unlock()
+}
+
+// SetDelay adds latency before each forwarded chunk.
+func (cp *chaosProxy) SetDelay(d time.Duration) {
+	cp.mu.Lock()
+	cp.delay = d
+	cp.mu.Unlock()
+}
+
+// TruncateAfter forwards n more toward-target bytes, then cuts the pipe —
+// the peer receives a sliced frame.
+func (cp *chaosProxy) TruncateAfter(n int) {
+	cp.mu.Lock()
+	cp.truncate = n
+	cp.mu.Unlock()
+}
+
+func (cp *chaosProxy) Close() {
+	cp.mu.Lock()
+	cp.closed = true
+	cp.mu.Unlock()
+	cp.ln.Close()
+	cp.CutAll()
+}
+
+// --- failure-path tests -------------------------------------------------
+
+// TestLeaseExpiryKeepsSlowWorkerAlive is the headline bugfix test: a task
+// that exceeds the scheduler lease is reassigned to another worker, the
+// slow worker's late result is discarded as stale, and the slow worker
+// keeps serving subsequent tasks instead of being written off.
+func TestLeaseExpiryKeepsSlowWorkerAlive(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.TaskTimeout = 80 * time.Millisecond
+	sched.MaxAttempts = 10
+	defer sched.Close()
+
+	var slowCalls, slowServed atomic.Int64
+	slowHandler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		if slowCalls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // ignores ctx: the classic slow training
+		}
+		slowServed.Add(1)
+		return payload, nil
+	}
+	slow, err := NewWorker(sched.Addr(), "slow", slowHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	go func() { _ = slow.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Submit while only the slow worker is connected, so it must take the
+	// first task.
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := client.Submit(context.Background(), json.RawMessage(`{"first":true}`))
+		resCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the slow worker take the task
+
+	rescue, err := NewWorker(sched.Addr(), "rescue", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = rescue.Run(context.Background()) }()
+
+	select {
+	case err := <-resCh:
+		if err != nil {
+			t.Fatalf("task not rescued after lease expiry: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never completed")
+	}
+
+	// Let the slow worker finish its abandoned task and send the stale
+	// result.
+	time.Sleep(350 * time.Millisecond)
+
+	// Kill the rescuer so subsequent tasks can only be served by the slow
+	// worker — proving it was never dropped from the pool.
+	rescue.Close()
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(context.Background(), json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatalf("slow worker no longer serving task %d: %v", i, err)
+		}
+	}
+
+	st := sched.Stats()
+	if st.Expired == 0 {
+		t.Errorf("no lease expiry recorded: %+v", st)
+	}
+	if st.Stale == 0 {
+		t.Errorf("stale result not recorded: %+v", st)
+	}
+	if st.Completed+st.Failed != st.Submitted {
+		t.Errorf("books don't balance: %+v", st)
+	}
+	if got := slowServed.Load(); got < 3 {
+		t.Errorf("slow worker served %d tasks after lease expiry, want >= 3", got)
+	}
+	found := false
+	for _, ws := range sched.WorkerStats() {
+		if ws.Name == "slow" {
+			found = true
+			if ws.Expired == 0 {
+				t.Errorf("per-worker expiry not recorded: %+v", ws)
+			}
+		}
+	}
+	if !found {
+		t.Error("slow worker missing from WorkerStats — it was dropped")
+	}
+}
+
+// TestDuplicateResultDoesNotInflateStats drives the scheduler with a raw
+// hand-rolled worker that answers every assignment twice.  The duplicate
+// must be discarded as stale, and Completed + Failed must still equal
+// Submitted.
+func TestDuplicateResultDoesNotInflateStats(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+
+	conn, err := net.Dial("tcp", sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMessage(conn, &message{Type: msgRegister, Name: "duplicator"}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			m, err := readMessage(conn)
+			if err != nil {
+				return
+			}
+			res := &message{Type: msgResult, TaskID: m.TaskID, Payload: m.Payload}
+			_ = writeMessage(conn, res)
+			_ = writeMessage(conn, res) // the duplicate
+		}
+	}()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, err := client.Submit(context.Background(), json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	// The final duplicate races the final result's delivery; give it a
+	// moment to be read and discarded.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := sched.Stats()
+		if st.Stale >= 4 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st := sched.Stats()
+	if st.Submitted != 4 || st.Completed != 4 || st.Failed != 0 {
+		t.Errorf("stats inflated by duplicates: %+v", st)
+	}
+	if st.Completed+st.Failed != st.Submitted {
+		t.Errorf("books don't balance: %+v", st)
+	}
+	if st.Stale != 4 {
+		t.Errorf("Stale = %d, want 4", st.Stale)
+	}
+	if st.Workers != 1 {
+		t.Errorf("duplicator dropped from pool: %+v", st)
+	}
+}
+
+// TestHungHandlerTimesOutWorkerStaysLive verifies the asynchronous worker
+// timeout: a handler that ignores its context is abandoned, the failure
+// result is reported, and the same worker serves the next task.
+func TestHungHandlerTimesOutWorkerStaysLive(t *testing.T) {
+	var calls atomic.Int64
+	unblock := make(chan struct{})
+	handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		if calls.Add(1) == 1 {
+			<-unblock // ignores ctx entirely
+		}
+		return payload, nil
+	}
+	lc, err := NewLocalCluster(1, handler, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	defer close(unblock)
+
+	start := time.Now()
+	_, err = lc.Client.Submit(context.Background(), json.RawMessage(`{"hang":true}`))
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("hung handler error = %v, want timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout did not fire promptly")
+	}
+
+	// The worker must still be live for the next task.
+	out, err := lc.Client.Submit(context.Background(), json.RawMessage(`{"ok":true}`))
+	if err != nil {
+		t.Fatalf("worker wedged after hung handler: %v", err)
+	}
+	if string(out) != `{"ok":true}` {
+		t.Errorf("result = %s", out)
+	}
+}
+
+// TestWorkerCancellationIsNotATimeout exercises Worker.execute directly:
+// parent-context cancellation (Ctrl-C) must propagate as "no result",
+// while a per-task deadline with a live parent must produce a timeout
+// failure result.
+func TestWorkerCancellationIsNotATimeout(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	blocker := func(ctx context.Context, _ json.RawMessage) (json.RawMessage, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	// Case 1: parent cancelled mid-task → nil (propagate shutdown).
+	w := &Worker{Name: "t", Handler: blocker, TaskTimeout: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if res := w.execute(ctx, a, &message{Type: msgAssign, TaskID: "x"}); res != nil {
+		t.Errorf("cancelled task produced result %+v, want nil (propagated shutdown)", res)
+	}
+
+	// Case 2: per-task deadline with live parent → timeout failure result.
+	w2 := &Worker{Name: "t2", Handler: blocker, TaskTimeout: 20 * time.Millisecond}
+	res := w2.execute(context.Background(), a, &message{Type: msgAssign, TaskID: "y"})
+	if res == nil || !strings.Contains(res.Err, "timed out") {
+		t.Errorf("timed-out task result = %+v, want timeout error", res)
+	}
+}
+
+// restartScheduler brings a new scheduler up on the exact address a
+// previous one occupied, retrying briefly while the OS releases the port.
+func restartScheduler(t *testing.T, addr string) *Scheduler {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		s, err := NewScheduler(addr)
+		if err == nil {
+			return s
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("could not restart scheduler on %s: %v", addr, lastErr)
+	return nil
+}
+
+// TestWorkerReconnectsAfterSchedulerRestart bounces the scheduler and
+// verifies the worker re-dials with backoff and serves tasks for the new
+// incarnation.
+func TestWorkerReconnectsAfterSchedulerRestart(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sched.Addr()
+
+	w, err := NewWorker(addr, "phoenix", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ReconnectInitial = 10 * time.Millisecond
+	defer w.Close()
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(context.Background()) }()
+
+	c1, err := NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Submit(context.Background(), json.RawMessage(`{"gen":1}`)); err != nil {
+		t.Fatalf("warm-up submit: %v", err)
+	}
+	c1.Close()
+
+	sched.Close()
+	sched2 := restartScheduler(t, addr)
+	defer sched2.Close()
+
+	c2, err := NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := c2.Submit(ctx, json.RawMessage(`{"gen":2}`))
+	if err != nil {
+		t.Fatalf("submit after scheduler restart: %v", err)
+	}
+	if string(out) != `{"gen":2}` {
+		t.Errorf("result = %s", out)
+	}
+	select {
+	case err := <-runDone:
+		t.Fatalf("worker Run exited instead of reconnecting: %v", err)
+	default:
+	}
+}
+
+// TestChaosCutWorkerReconnects cuts the worker↔scheduler link with the
+// chaos proxy mid-stream and verifies the worker reconnects (through the
+// proxy) and keeps serving.
+func TestChaosCutWorkerReconnects(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	proxy := newChaosProxy(t, sched.Addr())
+
+	w, err := NewWorker(proxy.Addr(), "chaotic", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ReconnectInitial = 10 * time.Millisecond
+	defer w.Close()
+	go func() { _ = w.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Submit(context.Background(), json.RawMessage(`{"before":1}`)); err != nil {
+		t.Fatalf("submit before cut: %v", err)
+	}
+
+	proxy.CutAll()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := client.Submit(ctx, json.RawMessage(`{"after":1}`))
+	if err != nil {
+		t.Fatalf("submit after cut: %v", err)
+	}
+	if string(out) != `{"after":1}` {
+		t.Errorf("result = %s", out)
+	}
+}
+
+// TestChaosTruncatedResultFrame slices a worker's result frame in half.
+// The scheduler's read fails, the worker proxy dies, the task is requeued,
+// and the reconnected worker completes it.
+func TestChaosTruncatedResultFrame(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	proxy := newChaosProxy(t, sched.Addr())
+
+	var calls atomic.Int64
+	handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		calls.Add(1)
+		return payload, nil
+	}
+	w, err := NewWorker(proxy.Addr(), "truncated", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ReconnectInitial = 10 * time.Millisecond
+	defer w.Close()
+	go func() { _ = w.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Wait until the registration frame has fully crossed the proxy, so
+	// the truncation budget is spent on the result frame, not on it.
+	deadline := time.Now().Add(2 * time.Second)
+	for sched.Stats().Workers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered through proxy")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Let the worker's result frame be cut a few bytes in.
+	proxy.TruncateAfter(8)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := client.Submit(ctx, json.RawMessage(`{"x":42}`))
+	if err != nil {
+		t.Fatalf("submit through truncation: %v", err)
+	}
+	if string(out) != `{"x":42}` {
+		t.Errorf("result = %s", out)
+	}
+	if st := sched.Stats(); st.Reassigned == 0 {
+		t.Errorf("truncated frame did not cause a requeue: %+v", st)
+	}
+	if calls.Load() < 2 {
+		t.Errorf("task executed %d times, want >= 2 (original + requeue)", calls.Load())
+	}
+}
+
+// TestChaosClientReconnectResubmits cuts the client↔scheduler link while
+// a task is in flight; the client must reconnect and resubmit it.
+func TestChaosClientReconnectResubmits(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	proxy := newChaosProxy(t, sched.Addr())
+
+	release := make(chan struct{})
+	var once sync.Once
+	handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		once.Do(func() { <-release }) // hold the first execution until the cut happened
+		return payload, nil
+	}
+	w, err := NewWorker(sched.Addr(), "steady", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() { _ = w.Run(context.Background()) }()
+
+	client, err := NewClient(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.ReconnectInitial = 10 * time.Millisecond
+	defer client.Close()
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := client.Submit(context.Background(), json.RawMessage(`{"inflight":1}`))
+		resCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // task is now in flight
+	proxy.CutAll()
+	close(release)
+
+	select {
+	case err := <-resCh:
+		if err != nil {
+			t.Fatalf("in-flight task lost across client reconnect: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight task never completed after reconnect")
+	}
+}
+
+// TestChaosBlackholeLeaseRescue stalls the worker link (bytes vanish, the
+// connection stays up) and verifies the lease mechanism hands the task to
+// a healthy worker.
+func TestChaosBlackholeLeaseRescue(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.TaskTimeout = 60 * time.Millisecond
+	sched.MaxAttempts = 20 // the stalled proxy may win the requeue race several times
+	defer sched.Close()
+	proxy := newChaosProxy(t, sched.Addr())
+
+	w, err := NewWorker(proxy.Addr(), "stalled", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() { _ = w.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	proxy.SetBlackhole(true) // assignments now vanish en route
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := client.Submit(context.Background(), json.RawMessage(`{"x":1}`))
+		resCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	healthy, err := NewWorker(sched.Addr(), "healthy", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	go func() { _ = healthy.Run(context.Background()) }()
+
+	select {
+	case err := <-resCh:
+		if err != nil {
+			t.Fatalf("task not rescued from blackholed worker: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never rescued from blackholed worker")
+	}
+}
+
+// clusterEval is a deterministic two-objective evaluator used by the
+// end-to-end bounce test: pure function of the genome, so re-executed
+// (resubmitted) tasks always reproduce the same fitness.
+func clusterEval(_ context.Context, g ea.Genome) (ea.Fitness, error) {
+	time.Sleep(time.Millisecond) // stretch the campaign so the bounce lands mid-flight
+	f0 := g[0]*g[0] + g[1]*g[1]
+	f1 := (g[0]-1)*(g[0]-1) + (g[1]-1)*(g[1]-1)
+	return ea.Fitness{f0, f1}, nil
+}
+
+func bounceCampaignConfig(ev ea.Evaluator) nsga2.Config {
+	return nsga2.Config{
+		PopSize:      12,
+		Generations:  4,
+		Bounds:       ea.Bounds{{Lo: -2, Hi: 2}, {Lo: -2, Hi: 2}},
+		InitialStd:   []float64{0.3, 0.3},
+		AnnealFactor: 0.85,
+		Evaluator:    ev,
+		Pool:         ea.PoolConfig{Parallelism: 6, Objectives: 2},
+		Seed:         2023,
+	}
+}
+
+// paretoSize counts rank-0 members of the final population.
+func paretoSize(pop ea.Population) int {
+	fronts := nsga2.RankOrdinalSort(pop)
+	if len(fronts) == 0 {
+		return 0
+	}
+	return len(fronts[0])
+}
+
+// TestSchedulerBounceMidCampaign is the end-to-end acceptance test: a
+// whole NSGA-II campaign runs through the cluster while the scheduler is
+// killed and restarted mid-flight.  Workers reconnect with backoff, the
+// client resubmits its in-flight generation, and the campaign finishes
+// with the exact frontier a local run produces — no spurious MAXINT
+// failures anywhere.
+func TestSchedulerBounceMidCampaign(t *testing.T) {
+	// Reference: the same campaign evaluated in-process.
+	ref, err := nsga2.Run(context.Background(), bounceCampaignConfig(ea.EvaluatorFunc(clusterEval)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sched.Addr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var workers []*Worker
+	for i := 0; i < 4; i++ {
+		w, err := NewWorker(addr, fmt.Sprintf("w%d", i), EvalHandler(ea.EvaluatorFunc(clusterEval)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.ReconnectInitial = 10 * time.Millisecond
+		workers = append(workers, w)
+		go func() { _ = w.Run(ctx) }()
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	client, err := NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.ReconnectInitial = 10 * time.Millisecond
+	client.MaxReconnects = 200
+	defer client.Close()
+
+	// Bounce the scheduler once the campaign is under way.
+	bounced := make(chan *Scheduler, 1)
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		sched.Close()
+		bounced <- restartScheduler(t, addr)
+	}()
+
+	res, err := nsga2.Run(ctx, bounceCampaignConfig(&Evaluator{Client: client}))
+	if err != nil {
+		t.Fatalf("campaign failed across scheduler bounce: %v", err)
+	}
+	sched2 := <-bounced
+	defer sched2.Close()
+
+	if got := res.TotalFailures(); got != 0 {
+		t.Errorf("bounced campaign recorded %d spurious failures", got)
+	}
+	if got, want := res.TotalEvaluations(), ref.TotalEvaluations(); got != want {
+		t.Errorf("evaluations = %d, want %d", got, want)
+	}
+	if got, want := paretoSize(res.Final), paretoSize(ref.Final); got != want {
+		t.Errorf("frontier size after bounce = %d, want %d (reference run)", got, want)
+	}
+	for i, ind := range res.Final {
+		refInd := ref.Final[i]
+		for k := range ind.Fitness {
+			if ind.Fitness[k] != refInd.Fitness[k] {
+				t.Fatalf("final[%d].Fitness[%d] = %v, want %v", i, k, ind.Fitness[k], refInd.Fitness[k])
+			}
+		}
+	}
+}
+
+// TestCancelledSubmitNoSpuriousFailure pairs with the ea-side fix: a
+// campaign abort surfaces as context.Canceled from Submit, which the EA
+// records as "unevaluated", not as a MAXINT timeout.
+func TestCancelledSubmitNoSpuriousFailure(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		<-block
+		return payload, nil
+	}
+	lc, err := NewLocalCluster(2, handler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pop := ea.Population{
+		ea.NewIndividual(ea.Genome{0.1}),
+		ea.NewIndividual(ea.Genome{0.2}),
+		ea.NewIndividual(ea.Genome{0.3}),
+		ea.NewIndividual(ea.Genome{0.4}),
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	out := ea.EvalPool(ctx, ea.Source(pop), len(pop), &Evaluator{Client: lc.Client},
+		ea.PoolConfig{Parallelism: 2, Objectives: 2})
+
+	for i, ind := range out {
+		if ind.Fitness.IsFailure() {
+			t.Errorf("individual %d branded MAXINT failure on campaign abort (err=%v)", i, ind.Err)
+		}
+		if ind.Evaluated {
+			t.Errorf("individual %d marked evaluated after abort", i)
+		}
+		if ind.Err == nil || !errors.Is(ind.Err, context.Canceled) {
+			t.Errorf("individual %d Err = %v, want context.Canceled", i, ind.Err)
+		}
+	}
+}
+
+// TestEventHookAndWorkerStats sanity-checks the observability surface:
+// connect/assign/result events fire and per-worker counters accumulate.
+func TestEventHookAndWorkerStats(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[EventType]int{}
+	sched.OnEvent = func(e Event) {
+		mu.Lock()
+		seen[e.Type]++
+		mu.Unlock()
+		if e.String() == "" {
+			t.Error("empty event string")
+		}
+	}
+	defer sched.Close()
+
+	w, err := NewWorker(sched.Addr(), "observed", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() { _ = w.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Submit(context.Background(), json.RawMessage(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[EventWorkerConnect] == 0 || seen[EventAssign] < 5 || seen[EventResult] < 5 {
+		t.Errorf("events missing: %+v", seen)
+	}
+	ws := sched.WorkerStats()
+	if len(ws) != 1 || ws[0].Name != "observed" || ws[0].Completed != 5 {
+		t.Errorf("WorkerStats = %+v", ws)
+	}
+	if !strings.Contains(ws[0].String(), "completed=5") {
+		t.Errorf("WorkerStats.String() = %q", ws[0].String())
+	}
+}
+
+// TestHeartbeatRenewsLease runs a task longer than the scheduler lease on
+// a worker that heartbeats: the lease must be renewed, the task must NOT
+// be reassigned, and the books must balance with zero expiries.
+func TestHeartbeatRenewsLease(t *testing.T) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.TaskTimeout = 60 * time.Millisecond
+	defer sched.Close()
+
+	handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		time.Sleep(200 * time.Millisecond) // 3x the lease
+		return payload, nil
+	}
+	w, err := NewWorker(sched.Addr(), "beating", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Heartbeat = 15 * time.Millisecond
+	defer w.Close()
+	go func() { _ = w.Run(context.Background()) }()
+
+	client, err := NewClient(sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	out, err := client.Submit(context.Background(), json.RawMessage(`{"long":true}`))
+	if err != nil {
+		t.Fatalf("long task failed despite heartbeats: %v", err)
+	}
+	if string(out) != `{"long":true}` {
+		t.Errorf("result = %s", out)
+	}
+	if st := sched.Stats(); st.Expired != 0 || st.Reassigned != 0 {
+		t.Errorf("heartbeated lease expired anyway: %+v", st)
+	}
+}
+
+// TestBackoffGrowsAndResets pins the backoff schedule's envelope.
+func TestBackoffGrowsAndResets(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 80*time.Millisecond)
+	b.seed = 1 // deterministic jitter
+	prevBase := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		d := b.next()
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v out of envelope", i, d)
+		}
+		if i < 3 && d < prevBase {
+			t.Fatalf("attempt %d: delay %v shrank below previous base %v before hitting the cap", i, d, prevBase)
+		}
+		prevBase = d / 2 // base is at least half the jittered value
+	}
+	b.reset()
+	if d := b.next(); d > 15*time.Millisecond {
+		t.Errorf("after reset, delay %v should be near the initial 10ms", d)
+	}
+}

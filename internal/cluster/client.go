@@ -7,20 +7,52 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/uuid"
 )
 
+// pendingCall is one submitted task awaiting its result.  The payload is
+// retained so the call can be resubmitted after a reconnect: the
+// scheduler keeps no durable state, so a client that survives a
+// scheduler bounce replays its in-flight work (cf. the paper's stance
+// that tasks, not connections, are the unit of reliability, §2.2.5).
+type pendingCall struct {
+	ch      chan *message
+	payload json.RawMessage
+}
+
 // Client submits tasks to a scheduler and awaits results, like the Dask
 // client running on the Summit batch node (§2.2.5).  It is safe for
-// concurrent use, so an EA evaluation pool can fan out submissions.
+// concurrent use, so an EA evaluation pool can fan out submissions.  A
+// lost scheduler connection is retried with exponential backoff + jitter
+// and all in-flight tasks are resubmitted; Submit callers only see an
+// error once reconnection is exhausted (or their context ends).
 type Client struct {
+	// ReconnectInitial and ReconnectMax shape the re-dial backoff
+	// (defaults 50ms and 5s).
+	ReconnectInitial time.Duration
+	ReconnectMax     time.Duration
+	// MaxReconnects bounds consecutive failed re-dial attempts before the
+	// client gives up and fails every in-flight call (default 10; set
+	// negative to disable reconnection entirely).
+	MaxReconnects int
+	// Logf, if non-nil, receives diagnostic output.
+	Logf func(format string, args ...interface{})
+
+	addr string
+
+	mu      sync.Mutex // guards conn writes, waiters, readErr, closed
 	conn    net.Conn
-	mu      sync.Mutex // guards writes and the waiters map
-	waiters map[string]chan *message
+	waiters map[string]*pendingCall
 	readErr error
-	done    chan struct{}
+	closed  bool
+
+	closeCh chan struct{} // closed by Close, aborts reconnect sleeps
+	done    chan struct{} // closed when readLoop exits
 	once    sync.Once
+	start   sync.Once // spawns readLoop on first Submit, so config fields
+	// (ReconnectInitial etc.) may be set freely between NewClient and use
 }
 
 // NewClient dials the scheduler.
@@ -30,60 +62,163 @@ func NewClient(addr string) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		waiters: make(map[string]chan *message),
-		done:    make(chan struct{}),
+		MaxReconnects: 10,
+		addr:          addr,
+		conn:          conn,
+		waiters:       make(map[string]*pendingCall),
+		closeCh:       make(chan struct{}),
+		done:          make(chan struct{}),
 	}
-	go c.readLoop()
 	return c, nil
 }
 
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// readLoop owns reads on the scheduler connection, dispatching results to
+// waiters and driving reconnection when the connection fails.
 func (c *Client) readLoop() {
+	defer close(c.done)
+	bo := newBackoff(c.ReconnectInitial, c.ReconnectMax)
 	for {
-		m, err := readMessage(c.conn)
-		if err != nil {
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		m, err := readMessage(conn)
+		if err == nil {
 			c.mu.Lock()
-			c.readErr = err
-			for id, ch := range c.waiters {
-				close(ch)
-				delete(c.waiters, id)
+			pc, ok := c.waiters[m.TaskID]
+			if ok {
+				delete(c.waiters, m.TaskID)
 			}
 			c.mu.Unlock()
-			c.once.Do(func() { close(c.done) })
+			if ok {
+				pc.ch <- m
+			}
+			continue
+		}
+		if c.isClosed() {
+			c.failAll(errors.New("cluster: client closed"))
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.waiters[m.TaskID]
-		if ok {
-			delete(c.waiters, m.TaskID)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- m
+		if !c.reconnectAndReplay(bo, err) {
+			return
 		}
 	}
+}
+
+// reconnectAndReplay re-dials the scheduler and resubmits every in-flight
+// task.  It reports whether the read loop should continue.
+func (c *Client) reconnectAndReplay(bo *backoff, cause error) bool {
+	if c.MaxReconnects < 0 {
+		c.failAll(cause)
+		return false
+	}
+	c.logf("cluster: client lost scheduler connection: %v; reconnecting", cause)
+	attempts := 0
+	for {
+		if c.isClosed() {
+			c.failAll(errors.New("cluster: client closed"))
+			return false
+		}
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			if replayErr := c.adopt(conn); replayErr == nil {
+				bo.reset()
+				return true
+			}
+			conn.Close()
+			err = errors.New("cluster: resubmission failed")
+		}
+		attempts++
+		if c.MaxReconnects > 0 && attempts >= c.MaxReconnects {
+			c.failAll(fmt.Errorf("cluster: gave up after %d reconnect attempts: %w", attempts, cause))
+			return false
+		}
+		delay := bo.next()
+		c.logf("cluster: client reconnect attempt %d failed (%v); retrying in %v", attempts, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-c.closeCh:
+		}
+	}
+}
+
+// adopt installs a fresh connection and replays every pending call on it.
+// Replaying reuses the original task IDs: if the old scheduler somehow
+// still completes a copy, the duplicate result finds no waiter and is
+// dropped here, and the scheduler-side books stay balanced because each
+// submission is its own task.
+func (c *Client) adopt(conn net.Conn) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: client closed")
+	}
+	old := c.conn
+	c.conn = conn
+	if old != nil && old != conn {
+		old.Close()
+	}
+	n := 0
+	for id, pc := range c.waiters {
+		if err := writeMessage(conn, &message{Type: msgSubmit, TaskID: id, Payload: pc.payload}); err != nil {
+			return err
+		}
+		n++
+	}
+	if n > 0 {
+		c.logf("cluster: client reconnected, resubmitted %d in-flight tasks", n)
+	} else {
+		c.logf("cluster: client reconnected")
+	}
+	return nil
+}
+
+// failAll resolves every waiter with a terminal error.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	for id, pc := range c.waiters {
+		close(pc.ch)
+		delete(c.waiters, id)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // Submit sends one task and blocks until its result arrives or the
 // context is cancelled.  Application errors from the worker come back as
-// non-nil error with nil payload.
+// non-nil error with nil payload.  A connection loss mid-wait is handled
+// transparently by reconnect + resubmit; Submit fails only when the
+// client gives up or is closed.
 func (c *Client) Submit(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+	c.start.Do(func() { go c.readLoop() })
 	id := uuid.New().String()
-	ch := make(chan *message, 1)
+	pc := &pendingCall{ch: make(chan *message, 1), payload: payload}
 
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: client closed")
+	}
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
 		return nil, fmt.Errorf("cluster: connection down: %w", err)
 	}
-	c.waiters[id] = ch
-	err := writeMessage(c.conn, &message{Type: msgSubmit, TaskID: id, Payload: payload})
-	if err != nil {
-		delete(c.waiters, id)
-		c.mu.Unlock()
-		return nil, err
-	}
+	c.waiters[id] = pc
+	// A write error is not reported here: the read loop will observe the
+	// same broken connection and resubmit this call after reconnecting.
+	_ = writeMessage(c.conn, &message{Type: msgSubmit, TaskID: id, Payload: payload})
 	c.mu.Unlock()
 
 	select {
@@ -92,9 +227,15 @@ func (c *Client) Submit(ctx context.Context, payload json.RawMessage) (json.RawM
 		delete(c.waiters, id)
 		c.mu.Unlock()
 		return nil, ctx.Err()
-	case m, ok := <-ch:
+	case m, ok := <-pc.ch:
 		if !ok {
-			return nil, errors.New("cluster: connection closed while waiting for result")
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = errors.New("cluster: connection closed while waiting for result")
+			}
+			return nil, err
 		}
 		if m.Err != "" {
 			return nil, errors.New(m.Err)
@@ -127,9 +268,20 @@ type BatchResult struct {
 	Err     error
 }
 
-// Close terminates the client connection.
+// Close terminates the client connection and stops reconnection.
 func (c *Client) Close() error {
-	err := c.conn.Close()
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	c.once.Do(func() { close(c.closeCh) })
+	// If Submit was never called, the read loop never started; stand in
+	// for its exit so the wait below cannot hang.
+	c.start.Do(func() { close(c.done) })
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
 	<-c.done // wait for readLoop to drain waiters
 	return err
 }

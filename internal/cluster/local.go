@@ -21,7 +21,9 @@ type LocalCluster struct {
 }
 
 // NewLocalCluster starts everything on 127.0.0.1 with the given handler
-// and per-task timeout (0 = none).
+// and per-worker task timeout (0 = none).  Workers are wired with a fast
+// reconnect schedule, so a locally bounced scheduler is reacquired in
+// tens of milliseconds rather than the production default's seconds.
 func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (*LocalCluster, error) {
 	sched, err := NewScheduler("127.0.0.1:0")
 	if err != nil {
@@ -36,6 +38,8 @@ func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (
 			return nil, err
 		}
 		w.TaskTimeout = taskTimeout
+		w.ReconnectInitial = 10 * time.Millisecond
+		w.ReconnectMax = 250 * time.Millisecond
 		lc.Workers = append(lc.Workers, w)
 		go func() { _ = w.Run(ctx) }()
 	}

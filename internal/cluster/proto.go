@@ -18,10 +18,11 @@ import (
 type msgType string
 
 const (
-	msgRegister msgType = "register" // worker → scheduler
-	msgSubmit   msgType = "submit"   // client → scheduler
-	msgAssign   msgType = "assign"   // scheduler → worker
-	msgResult   msgType = "result"   // worker → scheduler → client
+	msgRegister  msgType = "register"  // worker → scheduler
+	msgSubmit    msgType = "submit"    // client → scheduler
+	msgAssign    msgType = "assign"    // scheduler → worker
+	msgResult    msgType = "result"    // worker → scheduler → client
+	msgHeartbeat msgType = "heartbeat" // worker → scheduler: still working on TaskID, renew its lease
 )
 
 // message is the wire format: length-prefixed JSON.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,7 +23,9 @@ type task struct {
 }
 
 // complete delivers a result exactly once; late duplicates (e.g. from a
-// worker that answered after being written off) are dropped.
+// worker that answered after its lease was given away) are dropped.  It
+// reports whether THIS call delivered the result, so callers can count
+// Completed/Failed only for the delivery that actually happened.
 func (t *task) complete(m *message) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -34,29 +37,57 @@ func (t *task) complete(m *message) bool {
 	return true
 }
 
-// Stats reports scheduler activity counters.
+func (t *task) isDone() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// Stats reports scheduler activity counters.  The books balance:
+// every submitted task is eventually counted exactly once as Completed or
+// Failed, regardless of how many times it was reassigned or how many
+// duplicate results arrived.
 type Stats struct {
 	Submitted  int64 // tasks received from clients
 	Completed  int64 // tasks finished successfully
-	Failed     int64 // tasks finished with an application error
-	Reassigned int64 // tasks requeued after a worker died
+	Failed     int64 // tasks finished with an application error (or abandoned)
+	Reassigned int64 // tasks requeued after a worker death or lease expiry
+	Expired    int64 // leases that ran out (subset of Reassigned causes)
+	Stale      int64 // late/duplicate results discarded
 	Workers    int64 // workers currently connected
+}
+
+// lease tracks one in-flight assignment: which task a worker is holding
+// and until when the scheduler believes it.  Heartbeats renew the
+// deadline; a lease that runs out hands the task back to the queue while
+// the worker connection stays up — one slow round-trip no longer costs a
+// healthy node (the bug this type exists to fix).
+type lease struct {
+	t        *task
+	deadline time.Time
+	started  time.Time
+	resolved chan struct{} // closed when the reader delivers the result
 }
 
 // Scheduler accepts worker and client connections and routes tasks.
 type Scheduler struct {
 	// MaxAttempts bounds how many times a task is reassigned after worker
-	// deaths before being failed outright (default 3).
+	// deaths or lease expiries before being failed outright (default 3).
 	MaxAttempts int
-	// TaskTimeout, if positive, is the scheduler-side limit on one
-	// worker round-trip.  It guards against nodes that hang without
-	// dropping their connection — a hardware failure mode the paper's
-	// §2.2.4 lists — by abandoning the worker proxy and requeueing the
-	// task elsewhere.  Workers normally enforce their own (shorter)
-	// limit; this is the backstop.
+	// TaskTimeout, if positive, is the lease duration for one assignment:
+	// how long a worker may hold a task without completing it or
+	// heartbeating before the scheduler hands the task to someone else.
+	// It guards against nodes that hang without dropping their connection
+	// — a hardware failure mode the paper's §2.2.4 lists.  Workers
+	// normally enforce their own (shorter) execution limit; the lease is
+	// the liveness backstop, not the execution cap.
 	TaskTimeout time.Duration
 	// Logf, if non-nil, receives diagnostic output.
 	Logf func(format string, args ...interface{})
+	// OnEvent, if non-nil, receives scheduler lifecycle events
+	// synchronously.  Handlers must be fast and must not call back into
+	// the scheduler.  Set it before the first connection arrives.
+	OnEvent func(Event)
 
 	ln      net.Listener
 	pending chan *task
@@ -64,6 +95,12 @@ type Scheduler struct {
 	wg      sync.WaitGroup
 	closed  chan struct{}
 	once    sync.Once
+
+	workersMu sync.Mutex
+	workers   map[*workerProxy]struct{}
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
 }
 
 // NewScheduler creates a scheduler listening on addr (e.g. "127.0.0.1:0").
@@ -77,6 +114,8 @@ func NewScheduler(addr string) (*Scheduler, error) {
 		ln:          ln,
 		pending:     make(chan *task, 4096),
 		closed:      make(chan struct{}),
+		workers:     make(map[*workerProxy]struct{}),
+		conns:       make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -93,14 +132,41 @@ func (s *Scheduler) Stats() Stats {
 		Completed:  atomic.LoadInt64(&s.stats.Completed),
 		Failed:     atomic.LoadInt64(&s.stats.Failed),
 		Reassigned: atomic.LoadInt64(&s.stats.Reassigned),
+		Expired:    atomic.LoadInt64(&s.stats.Expired),
+		Stale:      atomic.LoadInt64(&s.stats.Stale),
 		Workers:    atomic.LoadInt64(&s.stats.Workers),
 	}
 }
 
+// WorkerStats snapshots the per-worker counters of every connected
+// worker, sorted by name.
+func (s *Scheduler) WorkerStats() []WorkerStats {
+	s.workersMu.Lock()
+	proxies := make([]*workerProxy, 0, len(s.workers))
+	for w := range s.workers {
+		proxies = append(proxies, w)
+	}
+	s.workersMu.Unlock()
+	out := make([]WorkerStats, 0, len(proxies))
+	for _, w := range proxies {
+		out = append(out, w.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Close shuts the scheduler down and waits for connection handlers.
+// Active worker and client connections are force-closed: their owners are
+// expected to reconnect (and, for clients, resubmit) if a new scheduler
+// comes up — the scheduler holds no durable state worth draining.
 func (s *Scheduler) Close() error {
 	s.once.Do(func() { close(s.closed) })
 	err := s.ln.Close()
+	s.connsMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connsMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -109,6 +175,13 @@ func (s *Scheduler) logf(format string, args ...interface{}) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
 	}
+}
+
+func (s *Scheduler) event(typ EventType, worker, taskID, detail string) {
+	if s.OnEvent == nil {
+		return
+	}
+	s.OnEvent(Event{Time: time.Now(), Type: typ, Worker: worker, TaskID: taskID, Detail: detail})
 }
 
 func (s *Scheduler) acceptLoop() {
@@ -134,6 +207,14 @@ func (s *Scheduler) acceptLoop() {
 func (s *Scheduler) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	s.connsMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connsMu.Unlock()
+	defer func() {
+		s.connsMu.Lock()
+		delete(s.conns, conn)
+		s.connsMu.Unlock()
+	}()
 	first, err := readMessage(conn)
 	if err != nil {
 		return
@@ -148,79 +229,266 @@ func (s *Scheduler) handleConn(conn net.Conn) {
 	}
 }
 
-// runWorkerProxy pulls pending tasks and round-trips them through one
-// worker connection.  If the worker dies mid-task, the task is requeued —
-// this is the scheduler "reassigning tasks to other workers" after a node
-// failure, with nannies disabled (§2.2.5).
+// workerProxy is the scheduler-side state of one worker connection: the
+// connection itself, the leases currently held by the worker, and its
+// activity counters.
+type workerProxy struct {
+	s    *Scheduler
+	conn net.Conn
+	name string
+
+	mu       sync.Mutex
+	inflight map[string]*lease
+	ws       WorkerStats
+
+	dead     chan struct{} // closed when the read loop exits
+	deadOnce sync.Once
+}
+
+func (w *workerProxy) snapshot() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws := w.ws
+	ws.Name = w.name
+	ws.InFlight = len(w.inflight)
+	return ws
+}
+
+// runWorkerProxy pulls pending tasks and leases them to one worker
+// connection.  A worker that dies mid-task gets its leases requeued —
+// the scheduler "reassigning tasks to other workers" after a node
+// failure, with nannies disabled (§2.2.5).  A worker that is merely slow
+// loses the lease but keeps the connection, so one slow task cannot
+// permanently remove a healthy node from the pool.
 func (s *Scheduler) runWorkerProxy(conn net.Conn, name string) {
+	w := &workerProxy{
+		s:        s,
+		conn:     conn,
+		name:     name,
+		inflight: make(map[string]*lease),
+		dead:     make(chan struct{}),
+	}
 	atomic.AddInt64(&s.stats.Workers, 1)
-	defer atomic.AddInt64(&s.stats.Workers, -1)
+	s.workersMu.Lock()
+	s.workers[w] = struct{}{}
+	s.workersMu.Unlock()
+	defer func() {
+		s.workersMu.Lock()
+		delete(s.workers, w)
+		s.workersMu.Unlock()
+		atomic.AddInt64(&s.stats.Workers, -1)
+		conn.Close()
+		<-w.dead // reader has stopped touching shared state
+		s.event(EventWorkerDisconnect, name, "", "")
+		s.logf("cluster: worker %q disconnected", name)
+	}()
 	s.logf("cluster: worker %q connected", name)
+	s.event(EventWorkerConnect, name, "", "")
+
+	go w.readLoop()
+
 	for {
 		var t *task
 		select {
 		case <-s.closed:
+			return
+		case <-w.dead:
 			return
 		case t = <-s.pending:
 		}
 		if t.isDone() {
 			continue
 		}
-		if s.TaskTimeout > 0 {
-			deadline := time.Now().Add(s.TaskTimeout)
-			if err := conn.SetDeadline(deadline); err != nil {
-				s.requeue(t)
-				return
-			}
-		}
-		if err := writeMessage(conn, &message{Type: msgAssign, TaskID: t.id, Payload: t.payload}); err != nil {
-			s.requeue(t)
+		if !w.dispatch(t) {
 			return
 		}
-		resp, err := readMessage(conn)
-		if err != nil {
-			// Connection error or deadline expiry: the worker is dead or
-			// hung.  Abandon it (no nanny) and requeue the task.
-			s.requeue(t)
-			return
-		}
-		if resp.Type != msgResult || resp.TaskID != t.id {
-			s.logf("cluster: worker %q protocol violation", name)
-			s.requeue(t)
-			return
-		}
-		if resp.Err != "" {
-			atomic.AddInt64(&s.stats.Failed, 1)
-		} else {
-			atomic.AddInt64(&s.stats.Completed, 1)
-		}
-		t.complete(resp)
 	}
 }
 
-func (t *task) isDone() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.done
+// dispatch leases one task to the worker and blocks until the task is
+// resolved (result delivered, lease expired, worker dead, or scheduler
+// closed).  It reports whether the worker is still usable.
+func (w *workerProxy) dispatch(t *task) bool {
+	s := w.s
+	now := time.Now()
+	l := &lease{t: t, started: now, resolved: make(chan struct{})}
+	if s.TaskTimeout > 0 {
+		l.deadline = now.Add(s.TaskTimeout)
+	}
+	w.mu.Lock()
+	w.inflight[t.id] = l
+	w.mu.Unlock()
+
+	if err := writeMessage(w.conn, &message{Type: msgAssign, TaskID: t.id, Payload: t.payload}); err != nil {
+		w.take(t.id)
+		s.requeue(t, w.name, fmt.Sprintf("assign write failed: %v", err))
+		return false
+	}
+	s.event(EventAssign, w.name, t.id, "")
+
+	for {
+		var expiry <-chan time.Time
+		var timer *time.Timer
+		if s.TaskTimeout > 0 {
+			w.mu.Lock()
+			deadline := l.deadline
+			w.mu.Unlock()
+			timer = time.NewTimer(time.Until(deadline))
+			expiry = timer.C
+		}
+		select {
+		case <-l.resolved:
+			if timer != nil {
+				timer.Stop()
+			}
+			return true
+		case <-expiry:
+			w.mu.Lock()
+			cur, held := w.inflight[t.id]
+			renewed := held && time.Now().Before(cur.deadline)
+			if held && !renewed {
+				delete(w.inflight, t.id)
+				w.ws.Expired++
+			}
+			w.mu.Unlock()
+			if renewed {
+				continue // a heartbeat extended the lease; re-arm
+			}
+			if !held {
+				continue // the reader resolved it concurrently; resolved fires next
+			}
+			atomic.AddInt64(&s.stats.Expired, 1)
+			s.event(EventLeaseExpired, w.name, t.id, fmt.Sprintf("after %v", s.TaskTimeout))
+			s.requeue(t, w.name, "lease expired")
+			// The worker stays connected: a late result will be discarded
+			// as stale by the reader, and the next pending task can still
+			// be leased here.
+			return true
+		case <-w.dead:
+			if timer != nil {
+				timer.Stop()
+			}
+			if _, held := w.take(t.id); held {
+				s.requeue(t, w.name, "worker connection lost")
+			}
+			return false
+		case <-s.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			// Leave the task unresolved: client connections are dropping
+			// too, and a reconnecting client will resubmit.
+			w.take(t.id)
+			return false
+		}
+	}
 }
 
-// requeue puts a task back on the queue after a worker failure, or fails
-// it permanently once attempts are exhausted.
-func (s *Scheduler) requeue(t *task) {
+// take removes and returns the lease for id, if the proxy still holds it.
+func (w *workerProxy) take(id string) (*lease, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l, ok := w.inflight[id]
+	if ok {
+		delete(w.inflight, id)
+	}
+	return l, ok
+}
+
+// readLoop owns reads on the worker connection: results and heartbeats.
+// Results for unknown tasks — completed elsewhere, reassigned after a
+// lease expiry, or duplicated — are discarded with a stale-result event
+// rather than treated as protocol violations, so a worker that answers
+// late is never punished for it.
+func (w *workerProxy) readLoop() {
+	defer w.deadOnce.Do(func() { close(w.dead) })
+	s := w.s
+	for {
+		m, err := readMessage(w.conn)
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		w.ws.LastSeen = time.Now()
+		w.mu.Unlock()
+		switch m.Type {
+		case msgHeartbeat:
+			if s.TaskTimeout > 0 {
+				w.mu.Lock()
+				if l, ok := w.inflight[m.TaskID]; ok {
+					l.deadline = time.Now().Add(s.TaskTimeout)
+				}
+				w.mu.Unlock()
+			}
+		case msgResult:
+			l, held := w.take(m.TaskID)
+			if !held {
+				atomic.AddInt64(&s.stats.Stale, 1)
+				w.mu.Lock()
+				w.ws.Stale++
+				w.mu.Unlock()
+				s.event(EventStaleResult, w.name, m.TaskID, "discarded")
+				continue
+			}
+			w.deliver(l, m)
+			close(l.resolved)
+		default:
+			s.logf("cluster: worker %q sent unexpected %q; ignoring", w.name, m.Type)
+		}
+	}
+}
+
+// deliver hands a result to the task, counting Completed/Failed only if
+// this worker's result was the one actually delivered — a duplicate from
+// a previously-expired lease must not inflate the books.
+func (w *workerProxy) deliver(l *lease, m *message) {
+	s := w.s
+	if !l.t.complete(m) {
+		atomic.AddInt64(&s.stats.Stale, 1)
+		w.mu.Lock()
+		w.ws.Stale++
+		w.mu.Unlock()
+		s.event(EventStaleResult, w.name, m.TaskID, "task already completed")
+		return
+	}
+	elapsed := time.Since(l.started)
+	w.mu.Lock()
+	if m.Err != "" {
+		w.ws.Failed++
+	} else {
+		w.ws.Completed++
+	}
+	w.ws.Latency += elapsed
+	w.mu.Unlock()
+	if m.Err != "" {
+		atomic.AddInt64(&s.stats.Failed, 1)
+	} else {
+		atomic.AddInt64(&s.stats.Completed, 1)
+	}
+	s.event(EventResult, w.name, m.TaskID, fmt.Sprintf("after %v err=%q", elapsed.Round(time.Millisecond), m.Err))
+}
+
+// requeue puts a task back on the queue after a worker failure or lease
+// expiry, or fails it permanently once attempts are exhausted.
+func (s *Scheduler) requeue(t *task, worker, why string) {
 	if t.isDone() {
 		return
 	}
 	t.attempts++
 	if t.attempts >= s.MaxAttempts {
-		atomic.AddInt64(&s.stats.Failed, 1)
-		t.complete(&message{Type: msgResult, TaskID: t.id, Err: "cluster: task abandoned after repeated worker failures"})
+		if t.complete(&message{Type: msgResult, TaskID: t.id, Err: "cluster: task abandoned after repeated worker failures"}) {
+			atomic.AddInt64(&s.stats.Failed, 1)
+			s.event(EventTaskAbandoned, worker, t.id, fmt.Sprintf("after %d attempts (%s)", t.attempts, why))
+		}
 		return
 	}
 	atomic.AddInt64(&s.stats.Reassigned, 1)
+	s.event(EventRequeue, worker, t.id, why)
 	select {
 	case s.pending <- t:
 	case <-s.closed:
-		t.complete(&message{Type: msgResult, TaskID: t.id, Err: "cluster: scheduler shut down"})
+		// Dropping the task is deliberate: the client connection is going
+		// down with the scheduler, and a reconnecting client resubmits.
 	}
 }
 
@@ -259,9 +527,13 @@ func (s *Scheduler) runClientProxy(conn net.Conn, first *message) {
 			return errors.New("scheduler closed")
 		}
 		go func() {
-			r := <-t.reply
 			select {
-			case results <- r:
+			case r := <-t.reply:
+				select {
+				case results <- r:
+				case <-clientDone:
+				case <-s.closed:
+				}
 			case <-clientDone:
 			case <-s.closed:
 			}
@@ -293,6 +565,6 @@ var _ = log.Printf
 // String describes the scheduler state for diagnostics.
 func (s *Scheduler) String() string {
 	st := s.Stats()
-	return fmt.Sprintf("Scheduler{addr=%s workers=%d submitted=%d completed=%d failed=%d reassigned=%d}",
-		s.Addr(), st.Workers, st.Submitted, st.Completed, st.Failed, st.Reassigned)
+	return fmt.Sprintf("Scheduler{addr=%s workers=%d submitted=%d completed=%d failed=%d reassigned=%d expired=%d stale=%d}",
+		s.Addr(), st.Workers, st.Submitted, st.Completed, st.Failed, st.Reassigned, st.Expired, st.Stale)
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -16,22 +17,47 @@ import (
 type Handler func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error)
 
 // Worker connects to a scheduler, executes assigned tasks, and returns
-// results.  There is intentionally no supervision/restart: the paper found
-// it best to "disable nannies, let workers fail, and have the scheduler
-// reassign tasks" (§2.2.5).
+// results.  There is intentionally no supervision/restart of the process
+// itself: the paper found it best to "disable nannies, let workers fail,
+// and have the scheduler reassign tasks" (§2.2.5).  What the worker does
+// do is survive the two failure modes that are not its own death: a
+// handler that hangs (the task is timed out asynchronously and abandoned,
+// the worker stays live) and a scheduler connection loss (the worker
+// re-dials with exponential backoff and jitter).
 type Worker struct {
 	// Name identifies the worker in scheduler logs.
 	Name string
 	// TaskTimeout, if positive, bounds each task's execution — the
-	// analogue of the paper's two-hour training limit.  An expired task
-	// returns a TimeoutError-like failure result rather than killing the
-	// worker.
+	// analogue of the paper's two-hour training limit.  The limit is
+	// enforced asynchronously: a handler that ignores its context is
+	// abandoned (its goroutine leaks until it returns on its own) and a
+	// timeout failure result is sent, so a wedged handler cannot wedge
+	// the worker.
 	TaskTimeout time.Duration
+	// Heartbeat, if positive, is the interval at which the worker pings
+	// the scheduler while executing a task, renewing the task's lease.
+	// Set it well below the scheduler's TaskTimeout so a slow-but-alive
+	// training is not reassigned.
+	Heartbeat time.Duration
+	// ReconnectInitial and ReconnectMax shape the re-dial backoff after a
+	// scheduler connection loss (defaults 50ms and 5s).
+	ReconnectInitial time.Duration
+	ReconnectMax     time.Duration
+	// MaxReconnects, if positive, bounds consecutive failed re-dial
+	// attempts before Run gives up; 0 retries until the context is
+	// cancelled or Close is called.
+	MaxReconnects int
 	// Handler executes tasks.
 	Handler Handler
+	// Logf, if non-nil, receives diagnostic output.
+	Logf func(format string, args ...interface{})
 
-	conn net.Conn
-	once sync.Once
+	addr string
+
+	mu      sync.Mutex // guards conn, closed
+	conn    net.Conn
+	closed  bool
+	writeMu sync.Mutex // serializes frames (results vs heartbeats)
 }
 
 // NewWorker dials the scheduler and registers.
@@ -39,66 +65,223 @@ func NewWorker(addr, name string, handler Handler) (*Worker, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("cluster: worker needs a handler")
 	}
+	conn, err := dialAndRegister(addr, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{Name: name, Handler: handler, addr: addr, conn: conn}, nil
+}
+
+func dialAndRegister(addr, name string) (net.Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{Name: name, Handler: handler, conn: conn}
 	if err := writeMessage(conn, &message{Type: msgRegister, Name: name}); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return w, nil
+	return conn, nil
 }
 
-// Run processes tasks until the context is cancelled or the scheduler
-// connection drops.  It returns the terminating error (nil on clean
-// context cancellation).
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) current() net.Conn {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn
+}
+
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// Run processes tasks until the context is cancelled or Close is called.
+// A scheduler connection loss is not fatal: Run re-dials with exponential
+// backoff + jitter and resumes pulling tasks (the in-flight task, if any,
+// is the scheduler's to reassign).  It returns nil on clean shutdown, or
+// the terminating error once MaxReconnects consecutive re-dials fail.
 func (w *Worker) Run(ctx context.Context) error {
-	go func() {
-		<-ctx.Done()
-		w.Close()
-	}()
+	unwatch := context.AfterFunc(ctx, func() { w.closeConn() })
+	defer unwatch()
+
+	bo := newBackoff(w.ReconnectInitial, w.ReconnectMax)
 	for {
-		m, err := readMessage(w.conn)
-		if err != nil {
-			if ctx.Err() != nil {
+		conn := w.current()
+		if conn == nil {
+			var err error
+			if conn, err = w.reconnect(ctx, bo); err != nil {
+				return err
+			}
+			if conn == nil { // cancelled or closed
 				return nil
 			}
+		}
+		err := w.serve(ctx, conn)
+		if ctx.Err() != nil || w.isClosed() {
+			return nil
+		}
+		w.logf("cluster: worker %q lost scheduler connection: %v; reconnecting", w.Name, err)
+		w.closeConn()
+	}
+}
+
+// reconnect re-dials the scheduler with backoff until it succeeds, the
+// context is cancelled, Close is called, or MaxReconnects consecutive
+// attempts fail.
+func (w *Worker) reconnect(ctx context.Context, bo *backoff) (net.Conn, error) {
+	attempts := 0
+	for {
+		if ctx.Err() != nil || w.isClosed() {
+			return nil, nil
+		}
+		conn, err := dialAndRegister(w.addr, w.Name)
+		if err == nil {
+			w.mu.Lock()
+			if w.closed {
+				w.mu.Unlock()
+				conn.Close()
+				return nil, nil
+			}
+			w.conn = conn
+			w.mu.Unlock()
+			if ctx.Err() != nil {
+				// The cancellation watcher may have fired before w.conn was
+				// set; make sure a late dial never leaves a live socket.
+				w.closeConn()
+				return nil, nil
+			}
+			bo.reset()
+			w.logf("cluster: worker %q reconnected to %s", w.Name, w.addr)
+			return conn, nil
+		}
+		attempts++
+		if w.MaxReconnects > 0 && attempts >= w.MaxReconnects {
+			return nil, fmt.Errorf("cluster: worker %q gave up after %d reconnect attempts: %w", w.Name, attempts, err)
+		}
+		delay := bo.next()
+		w.logf("cluster: worker %q reconnect attempt %d failed (%v); retrying in %v", w.Name, attempts, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, nil
+		}
+	}
+}
+
+// serve pulls assignments from one connection until it fails.
+func (w *Worker) serve(ctx context.Context, conn net.Conn) error {
+	for {
+		m, err := readMessage(conn)
+		if err != nil {
 			return err
 		}
 		if m.Type != msgAssign {
-			return fmt.Errorf("cluster: worker got unexpected message %q", m.Type)
+			w.logf("cluster: worker %q got unexpected message %q; ignoring", w.Name, m.Type)
+			continue
 		}
-		result := w.execute(ctx, m)
-		if err := writeMessage(w.conn, result); err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
+		result := w.execute(ctx, conn, m)
+		if result == nil {
+			// Parent context cancelled mid-task: propagate the shutdown
+			// instead of fabricating a failure result.
+			return context.Canceled
+		}
+		if err := w.write(conn, result); err != nil {
 			return err
 		}
 	}
 }
 
-// execute runs one task with timeout and panic containment.
-func (w *Worker) execute(ctx context.Context, m *message) *message {
+// write sends one frame, serialized against concurrent heartbeats.
+func (w *Worker) write(conn net.Conn, m *message) error {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	return writeMessage(conn, m)
+}
+
+// execute runs one task with asynchronous timeout enforcement, heartbeats
+// and panic containment.  It returns nil when the parent context was
+// cancelled (worker shutting down), so that Ctrl-C is never misreported
+// as a task timeout.
+func (w *Worker) execute(ctx context.Context, conn net.Conn, m *message) *message {
 	taskCtx := ctx
 	var cancel context.CancelFunc
 	if w.TaskTimeout > 0 {
 		taskCtx, cancel = context.WithTimeout(ctx, w.TaskTimeout)
 		defer cancel()
 	}
-	payload, err := safeHandle(taskCtx, w.Handler, m.Payload)
-	if err == nil && taskCtx.Err() != nil {
-		err = fmt.Errorf("cluster: task timed out: %v", taskCtx.Err())
+
+	if w.Heartbeat > 0 {
+		hbDone := make(chan struct{})
+		defer close(hbDone)
+		go func() {
+			ticker := time.NewTicker(w.Heartbeat)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					// A failed heartbeat is not fatal here; the serve loop
+					// will see the connection error on its next read/write.
+					_ = w.write(conn, &message{Type: msgHeartbeat, TaskID: m.TaskID})
+				case <-hbDone:
+					return
+				}
+			}
+		}()
 	}
-	out := &message{Type: msgResult, TaskID: m.TaskID}
-	if err != nil {
-		out.Err = err.Error()
+
+	type handlerOut struct {
+		payload json.RawMessage
+		err     error
+	}
+	done := make(chan handlerOut, 1)
+	go func() {
+		p, err := safeHandle(taskCtx, w.Handler, m.Payload)
+		done <- handlerOut{p, err}
+	}()
+
+	var out handlerOut
+	select {
+	case out = <-done:
+	case <-taskCtx.Done():
+		if ctx.Err() != nil {
+			return nil // shutdown, not a task failure
+		}
+		// The handler ignored its context and is still running: abandon
+		// it (the goroutine leaks until the handler returns on its own)
+		// and report the timeout so the worker stays live for the next
+		// task — a hung handler must not wedge the worker.
+		w.logf("cluster: worker %q abandoning task %s after %v (handler ignored context)", w.Name, m.TaskID, w.TaskTimeout)
+		return &message{Type: msgResult, TaskID: m.TaskID,
+			Err: fmt.Sprintf("cluster: task timed out after %v", w.TaskTimeout)}
+	}
+
+	if out.err == nil && taskCtx.Err() != nil {
+		// The handler returned success but its deadline had passed;
+		// classify by cause rather than blaming every cancellation on
+		// the timeout (the old bug recorded Ctrl-C as "task timed out").
+		if ctx.Err() != nil {
+			return nil
+		}
+		out.err = fmt.Errorf("cluster: task timed out: %v", taskCtx.Err())
+	}
+	if out.err != nil && errors.Is(out.err, context.Canceled) && ctx.Err() != nil {
+		return nil
+	}
+
+	res := &message{Type: msgResult, TaskID: m.TaskID}
+	if out.err != nil {
+		res.Err = out.err.Error()
 	} else {
-		out.Payload = payload
+		res.Payload = out.payload
 	}
-	return out
+	return res
 }
 
 func safeHandle(ctx context.Context, h Handler, payload json.RawMessage) (out json.RawMessage, err error) {
@@ -111,9 +294,28 @@ func safeHandle(ctx context.Context, h Handler, payload json.RawMessage) (out js
 	return h(ctx, payload)
 }
 
-// Close terminates the worker's scheduler connection.
+// closeConn closes the current connection without marking the worker
+// closed, so Run can re-dial.
+func (w *Worker) closeConn() {
+	w.mu.Lock()
+	conn := w.conn
+	w.conn = nil
+	w.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Close terminates the worker permanently: the connection is closed and
+// Run stops reconnecting.
 func (w *Worker) Close() error {
-	var err error
-	w.once.Do(func() { err = w.conn.Close() })
-	return err
+	w.mu.Lock()
+	w.closed = true
+	conn := w.conn
+	w.conn = nil
+	w.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -269,6 +270,96 @@ func TestEvalPoolTimeout(t *testing.T) {
 	}
 	if !errors.Is(out[0].Err, ErrEvalTimeout) && out[0].Err == nil {
 		t.Errorf("timeout error not recorded: %v", out[0].Err)
+	}
+}
+
+func TestEvaluateIndividualDistinguishesCancelFromTimeout(t *testing.T) {
+	blocker := EvaluatorFunc(func(ctx context.Context, _ Genome) (Fitness, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+
+	// Parent cancellation (Ctrl-C / campaign abort): NOT a failure — the
+	// individual stays unevaluated and carries the cancellation.
+	ind := NewIndividual(Genome{1})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	EvaluateIndividual(ctx, ind, blocker, time.Hour, 2)
+	if ind.Evaluated {
+		t.Error("cancelled individual marked evaluated")
+	}
+	if ind.Fitness.IsFailure() {
+		t.Errorf("cancelled individual branded MAXINT failure: %v", ind.Fitness)
+	}
+	if !errors.Is(ind.Err, context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", ind.Err)
+	}
+
+	// Per-individual timeout with a live parent: a genuine MAXINT failure
+	// tagged ErrEvalTimeout (the paper's two-hour TimeoutError, §2.2.4).
+	ind2 := NewIndividual(Genome{1})
+	EvaluateIndividual(context.Background(), ind2, blocker, 10*time.Millisecond, 2)
+	if !ind2.Evaluated || !ind2.Fitness.IsFailure() {
+		t.Errorf("timed-out individual not failed: evaluated=%v fitness=%v", ind2.Evaluated, ind2.Fitness)
+	}
+	if !errors.Is(ind2.Err, ErrEvalTimeout) {
+		t.Errorf("Err = %v, want ErrEvalTimeout", ind2.Err)
+	}
+}
+
+func TestEvalPoolCancelledCampaignNoSpuriousFailures(t *testing.T) {
+	started := make(chan struct{}, 16)
+	blocker := EvaluatorFunc(func(ctx context.Context, _ Genome) (Fitness, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	rng := rand.New(rand.NewSource(4))
+	pop := RandomPopulation(rng, testBounds(), 8, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started // at least one evaluation is in flight
+		cancel()
+	}()
+	out := EvalPool(ctx, Source(pop), 8, blocker, PoolConfig{Parallelism: 2, Objectives: 2})
+	if len(out) != 8 {
+		t.Fatalf("EvalPool returned %d individuals, want 8", len(out))
+	}
+	for i, ind := range out {
+		if ind.Fitness.IsFailure() {
+			t.Errorf("individual %d branded MAXINT failure on abort (err=%v)", i, ind.Err)
+		}
+		if ind.Evaluated {
+			t.Errorf("individual %d marked evaluated after abort", i)
+		}
+		if !errors.Is(ind.Err, context.Canceled) {
+			t.Errorf("individual %d Err = %v, want context.Canceled", i, ind.Err)
+		}
+	}
+}
+
+func TestEvalPoolStopsLaunchingAfterCancel(t *testing.T) {
+	var launched int64
+	blocker := EvaluatorFunc(func(ctx context.Context, _ Genome) (Fitness, error) {
+		atomic.AddInt64(&launched, 1)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	rng := rand.New(rand.NewSource(5))
+	pop := RandomPopulation(rng, testBounds(), 20, 0)
+
+	// Parallelism 2 and a context that is cancelled before the pool runs:
+	// with the old semaphore (blind sem <- struct{}{}), the pool would
+	// still drain the whole generation; now it must not launch anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	EvalPool(ctx, Source(pop), 20, blocker, PoolConfig{Parallelism: 2, Objectives: 2})
+	if n := atomic.LoadInt64(&launched); n != 0 {
+		t.Errorf("cancelled pool launched %d evaluations, want 0", n)
 	}
 }
 

@@ -46,6 +46,12 @@ type PoolConfig struct {
 // rather than an error fitness, per §2.2.4, so that downstream
 // non-dominated sorting remains total.  The returned slice preserves pull
 // order.
+//
+// Cancelling ctx aborts the campaign, not the individuals: evaluations
+// not yet launched stay unevaluated (Evaluated == false, Err records the
+// cancellation) instead of being branded MAXINT failures, and no new
+// evaluations are started once ctx is done.  Callers observe the abort
+// via ctx.Err(), mirroring how nsga2.Run discards the partial generation.
 func EvalPool(ctx context.Context, src Stream, n int, ev Evaluator, cfg PoolConfig) Population {
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = 1
@@ -58,8 +64,18 @@ func EvalPool(ctx context.Context, src Stream, n int, ev Evaluator, cfg PoolConf
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
 	for _, ind := range inds {
+		if ctx.Err() != nil {
+			// Campaign aborted: stop launching, leave the rest unevaluated.
+			ind.Err = ctx.Err()
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			ind.Err = ctx.Err()
+			continue
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(ind *Individual) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -72,9 +88,14 @@ func EvalPool(ctx context.Context, src Stream, n int, ev Evaluator, cfg PoolConf
 
 // EvaluateIndividual runs one evaluation with timeout and panic recovery,
 // recording fitness, runtime and error on the individual.  Any failure —
-// error return, timeout, or panic inside the evaluator (the paper saw
-// hyperparameter combinations that crashed training outright) — yields the
-// MAXINT failure fitness.
+// error return, per-individual timeout, or panic inside the evaluator
+// (the paper saw hyperparameter combinations that crashed training
+// outright) — yields the MAXINT failure fitness.
+//
+// Cancellation of the parent ctx (Ctrl-C, campaign abort) is NOT a
+// failure of the individual: the individual is left unevaluated with the
+// cancellation recorded in Err, so an aborted campaign never fabricates
+// MAXINT "timed out" results for work it chose not to finish.
 func EvaluateIndividual(ctx context.Context, ind *Individual, ev Evaluator, timeout time.Duration, objectives int) {
 	evalCtx := ctx
 	var cancel context.CancelFunc
@@ -88,9 +109,21 @@ func EvaluateIndividual(ctx context.Context, ind *Individual, ev Evaluator, time
 	ind.Runtime = time.Since(start)
 
 	if err == nil && evalCtx.Err() != nil {
-		err = fmt.Errorf("%w: %v", ErrEvalTimeout, evalCtx.Err())
+		// The evaluator returned success after its context ended; classify
+		// by cause instead of calling every cancellation a timeout.
+		err = evalCtx.Err()
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			// Campaign-level abort: propagate, don't record a failure.
+			ind.Err = ctx.Err()
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			// evalCtx's own deadline: the per-individual limit (the
+			// paper's two-hour cap) — a genuine MAXINT failure.
+			err = fmt.Errorf("%w: %v", ErrEvalTimeout, err)
+		}
 		ind.Fitness = FailureFitness(objectives)
 		ind.Err = err
 	} else {

@@ -123,6 +123,12 @@ func RunSteadyState(ctx context.Context, cfg SteadyConfig) (final, all ea.Popula
 	for completed < cfg.Evaluations {
 		select {
 		case ind := <-done:
+			if !ind.Evaluated {
+				// Cancellation propagated from EvaluateIndividual: the
+				// individual carries no fitness, so it must not enter the
+				// sorted population; the ctx.Done branch ends the run.
+				continue
+			}
 			completed++
 			all = append(all, ind)
 			current = merge(current, ind, cfg.PopSize, sortFn)
