@@ -63,8 +63,8 @@ func readMessage(r io.Reader) (*message, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
 	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
+	data, err := readFrame(r, int(n))
+	if err != nil {
 		return nil, err
 	}
 	var m message
@@ -72,4 +72,25 @@ func readMessage(r io.Reader) (*message, error) {
 		return nil, fmt.Errorf("cluster: decoding message: %w", err)
 	}
 	return &m, nil
+}
+
+// frameChunk bounds the bytes read (and allocated) per step, so a
+// hostile header claiming a near-maxFrame length on a short connection
+// cannot force a 64 MiB upfront allocation — memory grows only as bytes
+// actually arrive.
+const frameChunk = 64 << 10
+
+// readFrame reads exactly n bytes in bounded chunks.
+func readFrame(r io.Reader, n int) ([]byte, error) {
+	data := make([]byte, 0, min(n, frameChunk))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, frameChunk)
+		start := len(data)
+		data = append(data, make([]byte, c)...)
+		if _, err := io.ReadFull(r, data[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= c
+	}
+	return data, nil
 }

@@ -1,0 +1,27 @@
+package deepmd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzInputJSON feeds arbitrary bytes through the whole DeePMD input
+// pipeline — parse, validate, decode into model and training configs.
+// None of the stages may panic, whatever the JSON claims about network
+// sizes, learning rates or activation names.
+func FuzzInputJSON(f *testing.F) {
+	f.Add(`{"model":{"descriptor":{"rcut":6.0,"rcut_smth":1.0,"neuron":[25,50,100],"axis_neuron":16,"activation_function":"tanh"},"fitting_net":{"neuron":[240,240,240],"activation_function":"tanh"}},"learning_rate":{"start_lr":0.001,"stop_lr":1e-8},"training":{"numb_steps":40000,"batch_size":1,"disp_freq":100}}`)
+	f.Add(`{}`)
+	f.Add(`{"model":{"descriptor":{"neuron":[]}}}`)
+	f.Add(`not json`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		input, err := ParseInput(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		_ = input.Validate()
+		_, _ = input.ModelConfig()
+		_ = input.TrainConfig(6)
+	})
+}

@@ -1,0 +1,58 @@
+package npy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzNpyRoundTrip feeds arbitrary bytes to Read.  Read must never
+// panic, and whatever it accepts must survive a Write → Read round trip
+// with an identical shape and bit-identical data — the property the
+// dataset cache depends on.
+func FuzzNpyRoundTrip(f *testing.F) {
+	var buf bytes.Buffer
+	a := NewArray(2, 3)
+	for i := range a.Data {
+		a.Data[i] = float64(i) * 0.5
+	}
+	if err := Write(&buf, a); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x93, 'N', 'U', 'M', 'P', 'Y', 1, 0})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		a, err := Read(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if a.Len() != len(a.Data) {
+			t.Fatalf("accepted array with shape %v (%d elements) but %d data values",
+				a.Shape, a.Len(), len(a.Data))
+		}
+		var out bytes.Buffer
+		if err := Write(&out, a); err != nil {
+			t.Fatalf("re-encoding accepted array: %v", err)
+		}
+		b, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading re-encoded array: %v", err)
+		}
+		if len(b.Shape) != len(a.Shape) {
+			t.Fatalf("round trip changed rank: %v vs %v", a.Shape, b.Shape)
+		}
+		for d := range a.Shape {
+			if b.Shape[d] != a.Shape[d] {
+				t.Fatalf("round trip changed shape: %v vs %v", a.Shape, b.Shape)
+			}
+		}
+		for i := range a.Data {
+			if math.Float64bits(b.Data[i]) != math.Float64bits(a.Data[i]) {
+				t.Fatalf("round trip changed data[%d]: %x vs %x",
+					i, math.Float64bits(a.Data[i]), math.Float64bits(b.Data[i]))
+			}
+		}
+	})
+}

@@ -150,38 +150,53 @@ func Read(r io.Reader) (*Array, error) {
 	}
 	n := 1
 	for _, s := range shape {
+		if s != 0 && n > math.MaxInt/8/s {
+			return nil, fmt.Errorf("npy: shape %v overflows element count", shape)
+		}
 		n *= s
 	}
-	a := &Array{Shape: shape, Data: make([]float64, n)}
+	var elemSize int
+	var conv func([]byte) float64
 	switch descr {
 	case "<f8":
-		buf := make([]byte, 8*n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("npy: reading payload: %w", err)
-		}
-		for i := range a.Data {
-			a.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-		}
+		elemSize = 8
+		conv = func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
 	case "<f4":
-		buf := make([]byte, 4*n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("npy: reading payload: %w", err)
-		}
-		for i := range a.Data {
-			a.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
-		}
+		elemSize = 4
+		conv = func(b []byte) float64 { return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))) }
 	case "<i8":
-		buf := make([]byte, 8*n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("npy: reading payload: %w", err)
-		}
-		for i := range a.Data {
-			a.Data[i] = float64(int64(binary.LittleEndian.Uint64(buf[8*i:])))
-		}
+		elemSize = 8
+		conv = func(b []byte) float64 { return float64(int64(binary.LittleEndian.Uint64(b))) }
 	default:
 		return nil, fmt.Errorf("npy: unsupported dtype %q", descr)
 	}
-	return a, nil
+	data, err := readPayload(br, n, elemSize, conv)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{Shape: shape, Data: data}, nil
+}
+
+// payloadChunkElems bounds the elements decoded per read, so a hostile
+// header claiming a huge shape cannot force a huge upfront allocation —
+// memory grows only as payload bytes actually arrive.
+const payloadChunkElems = 64 * 1024
+
+func readPayload(r io.Reader, n, elemSize int, conv func([]byte) float64) ([]float64, error) {
+	data := make([]float64, 0, min(n, payloadChunkElems))
+	buf := make([]byte, elemSize*min(n, payloadChunkElems))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, payloadChunkElems)
+		b := buf[:elemSize*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("npy: reading payload: %w", err)
+		}
+		for i := 0; i < c; i++ {
+			data = append(data, conv(b[i*elemSize:]))
+		}
+		remaining -= c
+	}
+	return data, nil
 }
 
 // parseHeader extracts descr, fortran_order and shape from the Python-dict

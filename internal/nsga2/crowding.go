@@ -12,13 +12,35 @@ import (
 // objective receive +Inf so they are always preferred; interior solutions
 // accumulate the normalized side-length of the cuboid spanned by their
 // neighbours.  A front of one or two members gets +Inf everywhere.
+//
+// Members with a non-finite fitness (any NaN or ±Inf objective) keep
+// Distance 0 — never preferred in a tie — and are excluded from the
+// finite members' spacing computation, so a single broken evaluation
+// cannot poison every distance in its front with NaN.  The one/two-member
+// +Inf rule counts finite members only.
 func CrowdingDistance(front ea.Population) {
-	n := len(front)
-	if n == 0 {
+	if len(front) == 0 {
 		return
 	}
 	for _, ind := range front {
 		ind.Distance = 0
+	}
+	valid := front
+	for _, ind := range front {
+		if nonFinite(ind.Fitness) {
+			valid = make(ea.Population, 0, len(front))
+			for _, v := range front {
+				if !nonFinite(v.Fitness) {
+					valid = append(valid, v)
+				}
+			}
+			break
+		}
+	}
+	front = valid
+	n := len(front)
+	if n == 0 {
+		return
 	}
 	if n <= 2 {
 		for _, ind := range front {

@@ -6,14 +6,41 @@
 // objectives are minimized.
 package nsga2
 
-import "repro/internal/ea"
+import (
+	"math"
+
+	"repro/internal/ea"
+)
+
+// nonFinite reports whether the fitness carries any NaN or ±Inf
+// objective.  Such fitnesses mark broken evaluations that slipped past
+// the MAXINT failure path (§2.2.4); they are ranked like failures — below
+// every finite fitness — instead of leaking IEEE comparison accidents
+// into the sort.
+func nonFinite(f ea.Fitness) bool {
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
 
 // Dominates reports whether fitness a Pareto-dominates fitness b under
 // minimization: a is no worse on every objective and strictly better on at
 // least one.
+//
+// Non-finite fitnesses (any NaN or ±Inf objective) are treated like the
+// MAXINT failures of §2.2.4: a finite fitness dominates every non-finite
+// one, a non-finite fitness dominates nothing, and two non-finite
+// fitnesses are mutually non-dominating.  This keeps the relation a
+// strict partial order even when an evaluator returns garbage.
 func Dominates(a, b ea.Fitness) bool {
 	if len(a) != len(b) {
 		panic("nsga2: fitness dimension mismatch")
+	}
+	if nonFinite(a) || nonFinite(b) {
+		return !nonFinite(a) && nonFinite(b)
 	}
 	strict := false
 	for i := range a {
@@ -43,7 +70,9 @@ func Equal(a, b ea.Fitness) bool {
 // NonDominated filters pop down to its Pareto-optimal subset: members not
 // dominated by any other member.  This is what the paper computes over the
 // aggregated last generations of all runs to obtain the final frontier
-// (Fig. 2).  Duplicated fitnesses are all retained.
+// (Fig. 2).  Duplicated fitnesses are all retained.  Non-finite fitnesses
+// are dominated by any finite member, so they only survive in a
+// population with no finite fitness at all.
 func NonDominated(pop ea.Population) ea.Population {
 	var front ea.Population
 	for i, cand := range pop {

@@ -18,11 +18,13 @@ func Hypervolume2D(pop ea.Population, ref ea.Fitness) float64 {
 	if len(ref) != 2 {
 		panic("nsga2: Hypervolume2D needs a 2-objective reference")
 	}
-	// Collect members that dominate the reference region.
+	// Collect members that dominate the reference region.  Non-finite
+	// fitnesses are skipped like MAXINT failures: a stray -Inf objective
+	// must not contribute unbounded volume.
 	var pts [][2]float64
 	for _, ind := range pop {
 		f := ind.Fitness
-		if len(f) != 2 || f.IsFailure() {
+		if len(f) != 2 || f.IsFailure() || nonFinite(f) {
 			continue
 		}
 		if f[0] < ref[0] && f[1] < ref[1] {
@@ -71,7 +73,9 @@ func HypervolumeMC(pop ea.Population, ref ea.Fitness, samples int, seed int64) f
 	var front ea.Population
 	for _, ind := range pop {
 		f := ind.Fitness
-		if len(f) != m || f.IsFailure() {
+		// Skip failures and non-finite fitnesses: a NaN objective passes
+		// every >= test below and would count as dominating all samples.
+		if len(f) != m || f.IsFailure() || nonFinite(f) {
 			continue
 		}
 		inside := true

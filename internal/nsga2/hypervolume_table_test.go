@@ -1,0 +1,140 @@
+package nsga2
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ea"
+)
+
+// Table-driven Hypervolume2D checks against hand-computed areas,
+// concentrating on degenerate fronts: single points, collinear points,
+// points exactly on the reference point or its axes, duplicates, and
+// fronts mixing dominated and out-of-range members.
+func TestHypervolume2DHandComputed(t *testing.T) {
+	cases := []struct {
+		name string
+		pop  []ea.Fitness
+		ref  ea.Fitness
+		want float64
+	}{
+		{
+			name: "single interior point",
+			pop:  []ea.Fitness{{1, 2}},
+			ref:  ea.Fitness{4, 5},
+			// (4-1)*(5-2)
+			want: 9,
+		},
+		{
+			name: "point on the reference point",
+			pop:  []ea.Fitness{{4, 4}},
+			ref:  ea.Fitness{4, 4},
+			// Strict dominance required: zero volume.
+			want: 0,
+		},
+		{
+			name: "point on one reference axis",
+			pop:  []ea.Fitness{{1, 4}},
+			ref:  ea.Fitness{4, 4},
+			// f1 == ref1: degenerate box of height 0.
+			want: 0,
+		},
+		{
+			name: "horizontally collinear points",
+			pop:  []ea.Fitness{{1, 2}, {2, 2}, {3, 2}},
+			ref:  ea.Fitness{4, 4},
+			// All share f1=2; only (1,2) matters: (4-1)*(4-2).
+			want: 6,
+		},
+		{
+			name: "vertically collinear points",
+			pop:  []ea.Fitness{{2, 1}, {2, 2}, {2, 3}},
+			ref:  ea.Fitness{4, 4},
+			// Only (2,1) matters: (4-2)*(4-1).
+			want: 6,
+		},
+		{
+			name: "diagonally collinear points",
+			pop:  []ea.Fitness{{1, 1}, {2, 2}, {3, 3}},
+			ref:  ea.Fitness{4, 4},
+			// Nested boxes; the outermost (1,1) covers the rest: 3*3.
+			want: 9,
+		},
+		{
+			name: "staircase of three",
+			pop:  []ea.Fitness{{1, 3}, {2, 2}, {3, 1}},
+			ref:  ea.Fitness{4, 4},
+			// Columns: (2-1)(4-3) + (3-2)(4-2) + (4-3)(4-1) = 1+2+3.
+			want: 6,
+		},
+		{
+			name: "staircase with duplicates",
+			pop:  []ea.Fitness{{1, 3}, {1, 3}, {3, 1}, {3, 1}},
+			ref:  ea.Fitness{4, 4},
+			// (3-1)(4-3) + (4-3)(4-1) = 2+3.
+			want: 5,
+		},
+		{
+			name: "dominated interior point adds nothing",
+			pop:  []ea.Fitness{{1, 1}, {2, 3}},
+			ref:  ea.Fitness{4, 4},
+			want: 9,
+		},
+		{
+			name: "partially overlapping boxes",
+			pop:  []ea.Fitness{{0, 2}, {2, 0}},
+			ref:  ea.Fitness{3, 3},
+			// Boxes of area 3 each, overlap [2,3]x[2,3] counted once: 3+3-1.
+			want: 5,
+		},
+		{
+			name: "member outside reference ignored",
+			pop:  []ea.Fitness{{1, 1}, {5, 0}},
+			ref:  ea.Fitness{3, 3},
+			want: 4,
+		},
+		{
+			name: "empty front",
+			pop:  nil,
+			ref:  ea.Fitness{1, 1},
+			want: 0,
+		},
+		{
+			name: "only failures",
+			pop:  []ea.Fitness{ea.FailureFitness(2), ea.FailureFitness(2)},
+			ref:  ea.Fitness{1, 1},
+			want: 0,
+		},
+		{
+			name: "negative objective values",
+			pop:  []ea.Fitness{{-2, -1}},
+			ref:  ea.Fitness{0, 0},
+			// (0-(-2))*(0-(-1)).
+			want: 2,
+		},
+		{
+			name: "reference tight on one axis only",
+			pop:  []ea.Fitness{{1, 1}, {0, 2}},
+			ref:  ea.Fitness{2, 2},
+			// (0,2) sits on the f1 axis bound: only (1,1) contributes.
+			want: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Hypervolume2D(popFrom(c.pop...), c.ref)
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Hypervolume2D = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestHypervolume2DWrongReferenceDimension(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 3-D reference point")
+		}
+	}()
+	Hypervolume2D(popFrom(ea.Fitness{1, 1}), ea.Fitness{1, 1, 1})
+}

@@ -80,13 +80,28 @@ func RankOrdinalSort(pop ea.Population) []ea.Population {
 	}
 	// Sort indices lexicographically by fitness so that any dominator of x
 	// appears before x.  Ties (identical fitness vectors) are mutual
-	// non-dominators and land in the same front naturally.
+	// non-dominators and land in the same front naturally.  Non-finite
+	// fitnesses sort after every finite one (in stable input order among
+	// themselves): they are dominated by all finite members and dominate
+	// nothing, so placing them last preserves the invariant — NaN must not
+	// reach the lexicographic comparison, where it would wreck totality.
+	bad := make([]bool, n)
+	for i, ind := range pop {
+		bad[i] = nonFinite(ind.Fitness)
+	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		fa, fb := pop[order[a]].Fitness, pop[order[b]].Fitness
+		ia, ib := order[a], order[b]
+		if bad[ia] != bad[ib] {
+			return !bad[ia]
+		}
+		if bad[ia] {
+			return false
+		}
+		fa, fb := pop[ia].Fitness, pop[ib].Fitness
 		for k := range fa {
 			if fa[k] != fb[k] {
 				return fa[k] < fb[k]
@@ -148,9 +163,18 @@ func TwoObjectiveSort(pop ea.Population) []ea.Population {
 	if len(pop[0].Fitness) != 2 {
 		return RankOrdinalSort(pop)
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	// Non-finite fitnesses are dominated by every finite member and
+	// dominate nothing, so they always form one trailing front (matching
+	// FastNonDominatedSort under the hardened Dominates); the staircase
+	// logic below then only ever sees finite values.
+	var invalid ea.Population
+	order := make([]int, 0, n)
+	for i, ind := range pop {
+		if nonFinite(ind.Fitness) {
+			invalid = append(invalid, ind)
+		} else {
+			order = append(order, i)
+		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		fa, fb := pop[order[a]].Fitness, pop[order[b]].Fitness
@@ -197,6 +221,13 @@ func TwoObjectiveSort(pop ea.Population) []ea.Population {
 		}
 		cand.Rank = lo
 		fronts[lo] = append(fronts[lo], cand)
+	}
+	if len(invalid) > 0 {
+		rank := len(fronts)
+		for _, ind := range invalid {
+			ind.Rank = rank
+		}
+		fronts = append(fronts, invalid)
 	}
 	return fronts
 }

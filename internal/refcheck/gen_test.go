@@ -1,0 +1,61 @@
+package refcheck
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ea"
+)
+
+// randFitnesses draws a random multiobjective instance designed to hit
+// the degenerate corners: coarse value grids force duplicate objective
+// vectors, and with the given probabilities whole rows become MAXINT
+// failures or individual components become NaN / ±Inf.
+func randFitnesses(rng *rand.Rand, n, m int, pFail, pNonFinite float64) []ea.Fitness {
+	fits := make([]ea.Fitness, n)
+	coarse := rng.Intn(2) == 0
+	for i := range fits {
+		if rng.Float64() < pFail {
+			fits[i] = ea.FailureFitness(m)
+			continue
+		}
+		f := make(ea.Fitness, m)
+		for k := range f {
+			if coarse {
+				f[k] = float64(rng.Intn(5))
+			} else {
+				f[k] = rng.Float64()
+			}
+		}
+		if rng.Float64() < pNonFinite {
+			switch rng.Intn(3) {
+			case 0:
+				f[rng.Intn(m)] = math.NaN()
+			case 1:
+				f[rng.Intn(m)] = math.Inf(1)
+			default:
+				f[rng.Intn(m)] = math.Inf(-1)
+			}
+		}
+		fits[i] = f
+	}
+	return fits
+}
+
+// popOf wraps fitness vectors in a fresh population.
+func popOf(fits []ea.Fitness) ea.Population {
+	pop := make(ea.Population, len(fits))
+	for i, f := range fits {
+		pop[i] = &ea.Individual{Fitness: f, Evaluated: true}
+	}
+	return pop
+}
+
+// sameFloat treats two values as equal when they are bitwise-comparable
+// floats: exact equality, both +Inf, or both NaN.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}

@@ -1,0 +1,155 @@
+package refcheck
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/deepmd"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden fixtures from the current implementation")
+
+var goldenData struct {
+	once       sync.Once
+	train, val *dataset.Dataset
+}
+
+func goldenDataset(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	goldenData.once.Do(func() {
+		goldenData.train, goldenData.val = GoldenDataset()
+	})
+	return goldenData.train, goldenData.val
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name)
+}
+
+// checkGolden compares got against the committed fixture byte-for-byte,
+// or rewrites the fixture under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (run `go test ./internal/refcheck -update-golden`): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden fixture.\n--- got ---\n%s--- want ---\n%s"+
+			"If the change is intentional, regenerate with `go test ./internal/refcheck -update-golden`.",
+			name, got, want)
+	}
+}
+
+// runCampaign executes the golden campaign with the in-process pool and
+// returns the canonical frontier and hypervolume renderings.
+func runCampaign(t *testing.T, threads, parallelism int) (frontier, hv string) {
+	t.Helper()
+	train, val := goldenDataset(t)
+	ev := &GoldenEvaluator{Train: train, Val: val, Threads: threads}
+	res, err := RunGoldenCampaign(context.Background(), ev, parallelism)
+	if err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	return FormatFrontier(res.Final), FormatHypervolume(res.Final)
+}
+
+// TestGoldenCampaignLocal pins the whole pipeline — dataset generation,
+// model init, training, NSGA-II selection, frontier extraction and
+// hypervolume — to committed fixtures, byte-for-byte.  Run with
+// -count=2 to confirm the process itself is replay-stable.
+func TestGoldenCampaignLocal(t *testing.T) {
+	frontier, hv := runCampaign(t, 1, 2)
+	checkGolden(t, "frontier.txt", []byte(frontier))
+	checkGolden(t, "hypervolume.txt", []byte(hv))
+}
+
+// TestGoldenCampaignThreadInvariance reruns the campaign with a wide
+// per-evaluation thread pool and serial evaluation; every byte must
+// match the Threads=1, Parallelism=2 golden.
+func TestGoldenCampaignThreadInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	frontier, hv := runCampaign(t, 8, 1)
+	checkGolden(t, "frontier.txt", []byte(frontier))
+	checkGolden(t, "hypervolume.txt", []byte(hv))
+}
+
+// TestGoldenCampaignCluster runs the same campaign through the cluster
+// plane — scheduler, two TCP workers, JSON task round trips — and
+// requires the identical frontier and hypervolume bytes.  Genomes and
+// fitnesses must survive serialization exactly for this to hold.
+func TestGoldenCampaignCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	train, val := goldenDataset(t)
+	worker := &GoldenEvaluator{Train: train, Val: val, Threads: 1}
+	lc, err := cluster.NewLocalCluster(2, cluster.EvalHandler(worker), 0)
+	if err != nil {
+		t.Fatalf("local cluster: %v", err)
+	}
+	defer lc.Close()
+
+	res, err := RunGoldenCampaign(context.Background(), &cluster.Evaluator{Client: lc.Client}, 2)
+	if err != nil {
+		t.Fatalf("golden campaign via cluster: %v", err)
+	}
+	checkGolden(t, "frontier.txt", []byte(FormatFrontier(res.Final)))
+	checkGolden(t, "hypervolume.txt", []byte(FormatHypervolume(res.Final)))
+}
+
+// TestGoldenLCurve pins the reference candidate's learning-curve bytes
+// — the exact lcurve.out a DeePMD-kit run would leave behind — and
+// checks they are identical under Threads=1 and Threads=8.
+func TestGoldenLCurve(t *testing.T) {
+	train, val := goldenDataset(t)
+	curves := make([][]byte, 0, 2)
+	for _, threads := range []int{1, 8} {
+		ev := &GoldenEvaluator{Train: train, Val: val, Threads: threads}
+		cfg := ev.GoldenTrainConfig(GoldenReferenceGenome)
+		rng := rand.New(rand.NewSource(genomeSeed(GoldenReferenceGenome)))
+		m, err := deepmd.NewModel(rng, goldenModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := deepmd.Train(context.Background(), m, train, val, cfg, &buf); err != nil {
+			t.Fatalf("train reference genome: %v", err)
+		}
+		curves = append(curves, buf.Bytes())
+	}
+	if !bytes.Equal(curves[0], curves[1]) {
+		t.Fatalf("lcurve bytes differ between Threads=1 and Threads=8:\n%s\nvs\n%s", curves[0], curves[1])
+	}
+	checkGolden(t, "lcurve.out", curves[0])
+}
+
+// TestGoldenEvaluatorRejectsBadGenome documents the evaluator's
+// contract for malformed cluster payloads.
+func TestGoldenEvaluatorRejectsBadGenome(t *testing.T) {
+	train, val := goldenDataset(t)
+	ev := &GoldenEvaluator{Train: train, Val: val, Threads: 1}
+	if _, err := ev.Evaluate(context.Background(), nil); err == nil {
+		t.Fatal("expected error for empty genome")
+	}
+}

@@ -1,0 +1,231 @@
+// Package refcheck holds slow, obviously-correct reference
+// implementations of the production hot paths — brute-force O(N²·M)
+// dominance ranking, naive crowding distance, an all-pairs neighbor scan
+// with no cell list, an independent 2-D hypervolume sweep, and
+// central-finite-difference energy/force gradients — together with the
+// golden-campaign fixture that locks the end-to-end NSGA-II behavior in
+// place (see golden.go).
+//
+// The oracles deliberately share no code with the optimized
+// implementations in internal/nsga2, internal/neighbor, internal/nn and
+// internal/deepmd: each re-derives its answer from the definition, so the
+// seeded differential drivers in this package's tests catch any
+// behavioral drift an optimization introduces.  Every future perf PR
+// regression-tests against this package.
+package refcheck
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ea"
+)
+
+// broken reports whether a fitness carries any NaN or ±Inf objective.
+// The production semantics (nsga2.Dominates) rank such fitnesses like
+// MAXINT failures: below every finite fitness, mutually incomparable.
+func broken(f ea.Fitness) bool {
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// dominates is the reference dominance relation under minimization,
+// written straight from the definition plus the non-finite rule.
+func dominates(a, b ea.Fitness) bool {
+	if broken(a) {
+		return false
+	}
+	if broken(b) {
+		return true
+	}
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// ParetoRanks assigns every fitness its Pareto front index (0 = best) by
+// repeated peeling: front k is the set of members not dominated by any
+// member outside fronts 0..k-1.  Each peel rescans all remaining pairs,
+// so the total cost is O(N³·M) in the worst case — unmistakably correct,
+// never fast.
+func ParetoRanks(fits []ea.Fitness) []int {
+	n := len(fits)
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	assigned := 0
+	for rank := 0; assigned < n; rank++ {
+		var layer []int
+		for i := 0; i < n; i++ {
+			if ranks[i] != -1 {
+				continue
+			}
+			dominated := false
+			for j := 0; j < n; j++ {
+				if j == i || ranks[j] != -1 {
+					continue
+				}
+				if dominates(fits[j], fits[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				layer = append(layer, i)
+			}
+		}
+		if len(layer) == 0 {
+			// Impossible for a strict partial order; bail out rather than
+			// loop forever if dominance is ever broken.
+			panic("refcheck: dominance relation admits no minimal element")
+		}
+		for _, i := range layer {
+			ranks[i] = rank
+		}
+		assigned += len(layer)
+	}
+	return ranks
+}
+
+// CrowdingDistances computes Deb's crowding distance for one front of
+// fitness vectors, independently of nsga2.CrowdingDistance but pinning
+// the same tie-breaking convention: members are ordered per objective by
+// a stable sort on the objective value, so duplicates keep their input
+// order and the same members land on the boundaries.  Members with a
+// non-finite fitness receive 0 and are excluded from the spacing of the
+// finite members; if one or two finite members remain they receive +Inf.
+func CrowdingDistances(fits []ea.Fitness) []float64 {
+	out := make([]float64, len(fits))
+	var valid []int
+	for i, f := range fits {
+		if !broken(f) {
+			valid = append(valid, i)
+		}
+	}
+	n := len(valid)
+	if n == 0 {
+		return out
+	}
+	if n <= 2 {
+		for _, i := range valid {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	m := len(fits[valid[0]])
+	for obj := 0; obj < m; obj++ {
+		order := append([]int(nil), valid...)
+		sort.SliceStable(order, func(a, b int) bool {
+			return fits[order[a]][obj] < fits[order[b]][obj]
+		})
+		lo := fits[order[0]][obj]
+		hi := fits[order[n-1]][obj]
+		out[order[0]] = math.Inf(1)
+		out[order[n-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			i := order[k]
+			if math.IsInf(out[i], 1) {
+				continue
+			}
+			out[i] += (fits[order[k+1]][obj] - fits[order[k-1]][obj]) / (hi - lo)
+		}
+	}
+	return out
+}
+
+// AllPairsCandidates is the no-cell-list neighbor oracle: for each atom it
+// scans every other atom and keeps those within reach = rcut+skin of the
+// minimum-image distance (cubic periodic box when box > 0, open
+// boundaries otherwise), in ascending index order — the exact contract of
+// neighbor.List.Build.
+func AllPairsCandidates(coord []float64, box, rcut, skin float64) [][]int {
+	if skin < 0 {
+		skin = 0
+	}
+	n := len(coord) / 3
+	reach := rcut + skin
+	reach2 := reach * reach
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			r2 := 0.0
+			for k := 0; k < 3; k++ {
+				d := coord[3*j+k] - coord[3*i+k]
+				if box > 0 {
+					d -= box * math.Round(d/box)
+				}
+				r2 += d * d
+			}
+			if r2 < reach2 {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out
+}
+
+// Hypervolume2D is the reference bi-objective hypervolume: the exact area
+// of the union of boxes [f0, ref0]×[f1, ref1] over all members strictly
+// inside the reference point, computed by integrating over the distinct
+// f0 breakpoints — for each x-interval the covered height is
+// ref1 − min{f1 of members with f0 ≤ x}.  Structurally different from the
+// production staircase sweep in nsga2.Hypervolume2D.
+func Hypervolume2D(fits []ea.Fitness, ref ea.Fitness) float64 {
+	var pts [][2]float64
+	for _, f := range fits {
+		if len(f) != 2 || broken(f) || f.IsFailure() {
+			continue
+		}
+		if f[0] < ref[0] && f[1] < ref[1] {
+			pts = append(pts, [2]float64{f[0], f[1]})
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	// Distinct x breakpoints, ascending.
+	xs := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		xs = append(xs, p[0])
+	}
+	sort.Float64s(xs)
+	uniq := xs[:1]
+	for _, x := range xs[1:] {
+		if x != uniq[len(uniq)-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	hv := 0.0
+	for k, x := range uniq {
+		next := ref[0]
+		if k+1 < len(uniq) {
+			next = uniq[k+1]
+		}
+		minF1 := math.Inf(1)
+		for _, p := range pts {
+			if p[0] <= x && p[1] < minF1 {
+				minF1 = p[1]
+			}
+		}
+		hv += (next - x) * (ref[1] - minF1)
+	}
+	return hv
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# coverage_gate.sh — per-package statement-coverage ratchet.
+#
+# Runs `go test -cover` over internal packages and fails if any package
+# listed in scripts/coverage_baseline.txt has dropped more than SLACK
+# percentage points below its recorded floor.  Packages not in the
+# baseline pass (new packages ratchet in on the next -update).
+#
+# Usage:
+#   scripts/coverage_gate.sh            # enforce
+#   scripts/coverage_gate.sh -update    # rewrite the baseline from HEAD
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/coverage_baseline.txt
+# Small slack absorbs run-to-run noise from timing-dependent paths
+# (reconnect/timeout branches in the cluster plane).
+SLACK=2.0
+
+report="$(go test -count=1 -cover ./internal/... | awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $2, $(i+1) } }')"
+
+if [[ "${1:-}" == "-update" ]]; then
+    printf '%s\n' "$report" > "$BASELINE"
+    echo "coverage baseline updated:"
+    cat "$BASELINE"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "missing $BASELINE — run scripts/coverage_gate.sh -update" >&2
+    exit 1
+fi
+
+fail=0
+while read -r pkg floor; do
+    [[ -z "$pkg" ]] && continue
+    got="$(printf '%s\n' "$report" | awk -v p="$pkg" '$1 == p { print $2 }')"
+    if [[ -z "$got" ]]; then
+        echo "WARN: $pkg in baseline but produced no coverage line" >&2
+        continue
+    fi
+    if awk -v g="$got" -v f="$floor" -v s="$SLACK" 'BEGIN { exit !(g + s < f) }'; then
+        echo "FAIL: $pkg coverage $got% fell below baseline $floor% (slack $SLACK)" >&2
+        fail=1
+    else
+        echo "ok:   $pkg $got% (baseline $floor%)"
+    fi
+done < "$BASELINE"
+
+exit "$fail"

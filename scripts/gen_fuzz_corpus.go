@@ -1,0 +1,133 @@
+//go:build ignore
+
+// gen_fuzz_corpus regenerates the committed fuzz corpora under
+// internal/*/testdata/fuzz/.  Run from the repository root:
+//
+//	go run scripts/gen_fuzz_corpus.go
+//
+// The corpora seed each fuzz target with the interesting boundary
+// inputs — valid encodings of every supported variant, truncations,
+// hostile length/shape claims — so even a short fuzz run starts from
+// the format's corners instead of rediscovering them.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/npy"
+)
+
+func writeCorpus(dir, name string, entry string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n" + entry + "\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func bytesEntry(b []byte) string  { return "[]byte(" + strconv.Quote(string(b)) + ")" }
+func stringEntry(s string) string { return "string(" + strconv.Quote(s) + ")" }
+
+func npyBytes(shape []int, data []float64) []byte {
+	var buf bytes.Buffer
+	if err := npy.Write(&buf, &npy.Array{Shape: shape, Data: data}); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rawNpy builds an .npy stream with an arbitrary header dict, valid or
+// hostile.
+func rawNpy(header string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x93, 'N', 'U', 'M', 'P', 'Y', 1, 0})
+	h := header + "\n"
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(h)))
+	buf.Write(hlen[:])
+	buf.WriteString(h)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+func frame(payload []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+func main() {
+	npyDir := filepath.Join("internal", "npy", "testdata", "fuzz", "FuzzNpyRoundTrip")
+	valid := npyBytes([]int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	writeCorpus(npyDir, "valid_f8_2x3", bytesEntry(valid))
+	writeCorpus(npyDir, "scalar_0d",
+		bytesEntry(rawNpy("{'descr': '<f8', 'fortran_order': False, 'shape': (), }",
+			[]byte{0, 0, 0, 0, 0, 0, 0, 0x40})))
+	writeCorpus(npyDir, "f4_vector",
+		bytesEntry(rawNpy("{'descr': '<f4', 'fortran_order': False, 'shape': (2,), }",
+			[]byte{0, 0, 0x80, 0x3f, 0, 0, 0, 0x40})))
+	writeCorpus(npyDir, "i8_vector",
+		bytesEntry(rawNpy("{'descr': '<i8', 'fortran_order': False, 'shape': (1,), }",
+			[]byte{7, 0, 0, 0, 0, 0, 0, 0})))
+	writeCorpus(npyDir, "truncated_payload", bytesEntry(valid[:len(valid)-5]))
+	writeCorpus(npyDir, "hostile_shape",
+		bytesEntry(rawNpy("{'descr': '<f8', 'fortran_order': False, 'shape': (9999999999, 9999999999), }", nil)))
+	writeCorpus(npyDir, "huge_claimed_shape",
+		bytesEntry(rawNpy("{'descr': '<f8', 'fortran_order': False, 'shape': (1073741824,), }", nil)))
+	writeCorpus(npyDir, "fortran_order",
+		bytesEntry(rawNpy("{'descr': '<f8', 'fortran_order': True, 'shape': (1,), }",
+			make([]byte, 8))))
+	writeCorpus(npyDir, "bad_dtype",
+		bytesEntry(rawNpy("{'descr': '>c16', 'fortran_order': False, 'shape': (1,), }", nil)))
+	writeCorpus(npyDir, "zero_dim",
+		bytesEntry(npyBytes([]int{0, 3}, nil)))
+
+	clusterDir := filepath.Join("internal", "cluster", "testdata", "fuzz", "FuzzProtoDecode")
+	writeCorpus(clusterDir, "register",
+		bytesEntry(frame([]byte(`{"type":"register","name":"worker-0"}`))))
+	writeCorpus(clusterDir, "submit",
+		bytesEntry(frame([]byte(`{"type":"submit","task_id":"t1","payload":{"genome":[0.5,-1.5]}}`))))
+	writeCorpus(clusterDir, "result_err",
+		bytesEntry(frame([]byte(`{"type":"result","task_id":"t1","err":"diverged"}`))))
+	writeCorpus(clusterDir, "empty_frame", bytesEntry(frame(nil)))
+	writeCorpus(clusterDir, "truncated_frame", bytesEntry(frame([]byte(`{"type":"submit"}`))[:8]))
+	var overLimit [4]byte
+	binary.BigEndian.PutUint32(overLimit[:], 64<<20+1)
+	writeCorpus(clusterDir, "over_limit_claim", bytesEntry(overLimit[:]))
+	var hostile [4]byte
+	binary.BigEndian.PutUint32(hostile[:], 63<<20)
+	writeCorpus(clusterDir, "hostile_length_no_body", bytesEntry(hostile[:]))
+	writeCorpus(clusterDir, "bad_json", bytesEntry(frame([]byte(`{"type":`))))
+
+	deepmdDir := filepath.Join("internal", "deepmd", "testdata", "fuzz", "FuzzInputJSON")
+	writeCorpus(deepmdDir, "paper_input", stringEntry(`{
+  "model": {
+    "descriptor": {"rcut": 6.0, "rcut_smth": 1.0, "neuron": [25, 50, 100],
+                   "axis_neuron": 16, "activation_function": "tanh"},
+    "fitting_net": {"neuron": [240, 240, 240], "activation_function": "tanh"}
+  },
+  "learning_rate": {"start_lr": 0.001, "stop_lr": 1e-8},
+  "training": {"numb_steps": 40000, "batch_size": 1, "disp_freq": 100}
+}`))
+	writeCorpus(deepmdDir, "empty_object", stringEntry(`{}`))
+	writeCorpus(deepmdDir, "unknown_activation",
+		stringEntry(`{"model":{"descriptor":{"activation_function":"gelu"}}}`))
+	writeCorpus(deepmdDir, "negative_sizes",
+		stringEntry(`{"model":{"descriptor":{"rcut":-1,"neuron":[-3]},"fitting_net":{"neuron":[0]}}}`))
+	writeCorpus(deepmdDir, "wrong_types",
+		stringEntry(`{"model":{"descriptor":{"rcut":"six"}},"training":{"numb_steps":"many"}}`))
+	writeCorpus(deepmdDir, "not_json", stringEntry(`not json at all`))
+
+	fmt.Println("fuzz corpora regenerated")
+}
