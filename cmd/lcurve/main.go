@@ -57,6 +57,7 @@ func chart(recs []deepmd.LCurveRecord, get func(deepmd.LCurveRecord) float64, wi
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
 	}
+	//lint:ignore floateq degenerate-range guard: a constant series has lo bitwise equal to hi by construction
 	if !(hi > 0) || lo == hi {
 		return "(series constant or empty)\n"
 	}
@@ -94,4 +95,3 @@ func chart(recs []deepmd.LCurveRecord, get func(deepmd.LCurveRecord) float64, wi
 	fmt.Fprintf(&b, "%10s  %-*d%*d\n", "step", width-8, recs[0].Step, 8, recs[len(recs)-1].Step)
 	return b.String()
 }
-

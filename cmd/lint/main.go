@@ -1,0 +1,98 @@
+// Command lint runs the project-native static-analysis suite
+// (internal/lint) over the module and gates the result against the
+// committed baseline.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...                    # enforce (CI and tier-1)
+//	go run ./cmd/lint -update-baseline ./...   # shrink the baseline
+//	go run ./cmd/lint -list                    # describe the rules
+//
+// Exit status: 0 clean (or fully baselined), 1 new or stale findings,
+// 2 load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "scripts/lint_baseline.txt", "baseline file, relative to the module root")
+		update       = flag.Bool("update-baseline", false, "rewrite the baseline from this run's findings")
+		list         = flag.Bool("list", false, "list rules and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fatal(2, "lint: %v", err)
+	}
+	bl := *baselinePath
+	if !filepath.IsAbs(bl) {
+		bl = filepath.Join(root, bl)
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fatal(2, "lint: %v", err)
+	}
+
+	var diags []lint.Diagnostic
+	typeErrs := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "lint: type error in %s: %v\n", pkg.ImportPath, e)
+			typeErrs++
+		}
+		diags = append(diags, lint.Run(pkg, lint.All())...)
+	}
+	if typeErrs > 0 {
+		fatal(2, "lint: %d type error(s); findings would be unreliable", typeErrs)
+	}
+
+	if *update {
+		if err := lint.WriteBaseline(bl, diags); err != nil {
+			fatal(2, "lint: %v", err)
+		}
+		fmt.Printf("lint: baseline updated with %d finding(s): %s\n", len(diags), bl)
+		return
+	}
+
+	base, err := lint.ReadBaseline(bl)
+	if err != nil {
+		fatal(2, "lint: %v", err)
+	}
+	fresh, stale := lint.Gate(diags, base)
+	for _, d := range fresh {
+		fmt.Println(d.String())
+	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "lint: stale baseline entry (finding no longer reproduces): %s\n", s)
+	}
+	switch {
+	case len(fresh) > 0:
+		fatal(1, "lint: %d new finding(s); fix them or //lint:ignore with a reason", len(fresh))
+	case len(stale) > 0:
+		fatal(1, "lint: %d stale baseline entr(ies); run: go run ./cmd/lint -update-baseline ./...", len(stale))
+	}
+	fmt.Printf("lint: clean (%d package(s), %d baselined finding(s))\n", len(pkgs), len(diags))
+}
+
+func fatal(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

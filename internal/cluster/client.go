@@ -130,6 +130,7 @@ func (c *Client) reconnectAndReplay(bo *backoff, cause error) bool {
 				bo.reset()
 				return true
 			}
+			//lint:ignore errdiscard best-effort: the conn is being abandoned because its resubmission replay already failed
 			conn.Close()
 			err = errors.New("cluster: resubmission failed")
 		}
@@ -161,6 +162,7 @@ func (c *Client) adopt(conn net.Conn) error {
 	old := c.conn
 	c.conn = conn
 	if old != nil && old != conn {
+		//lint:ignore errdiscard best-effort: the stale conn was already replaced by the reconnect; its close error is unactionable
 		old.Close()
 	}
 	n := 0
@@ -218,6 +220,7 @@ func (c *Client) Submit(ctx context.Context, payload json.RawMessage) (json.RawM
 	c.waiters[id] = pc
 	// A write error is not reported here: the read loop will observe the
 	// same broken connection and resubmit this call after reconnecting.
+	//lint:ignore errdiscard the read loop observes the same broken conn and resubmits; handling here would double-report
 	_ = writeMessage(c.conn, &message{Type: msgSubmit, TaskID: id, Payload: payload})
 	c.mu.Unlock()
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -34,8 +35,7 @@ func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (
 	for i := 0; i < nWorkers; i++ {
 		w, err := NewWorker(sched.Addr(), fmt.Sprintf("worker-%d", i), handler)
 		if err != nil {
-			lc.Close()
-			return nil, err
+			return nil, errors.Join(err, lc.Close())
 		}
 		w.TaskTimeout = taskTimeout
 		w.ReconnectInitial = 10 * time.Millisecond
@@ -45,23 +45,26 @@ func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (
 	}
 	client, err := NewClient(sched.Addr())
 	if err != nil {
-		lc.Close()
-		return nil, err
+		return nil, errors.Join(err, lc.Close())
 	}
 	lc.Client = client
 	return lc, nil
 }
 
-// Close tears the cluster down.
-func (lc *LocalCluster) Close() {
+// Close tears the cluster down and reports every teardown failure; a
+// deferred Close remains the best-effort idiom for callers that only
+// need the shutdown, not its error.
+func (lc *LocalCluster) Close() error {
 	lc.cancel()
+	var errs []error
 	if lc.Client != nil {
-		lc.Client.Close()
+		errs = append(errs, lc.Client.Close())
 	}
 	for _, w := range lc.Workers {
-		w.Close()
+		errs = append(errs, w.Close())
 	}
-	lc.Scheduler.Close()
+	errs = append(errs, lc.Scheduler.Close())
+	return errors.Join(errs...)
 }
 
 // genomeTask is the JSON payload for fitness-evaluation tasks.

@@ -164,6 +164,7 @@ func (s *Scheduler) Close() error {
 	err := s.ln.Close()
 	s.connsMu.Lock()
 	for c := range s.conns {
+		//lint:ignore errdiscard force-close on shutdown by design: unblocks reader goroutines; the listener close error is what Close reports
 		c.Close()
 	}
 	s.connsMu.Unlock()

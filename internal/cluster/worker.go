@@ -78,6 +78,7 @@ func dialAndRegister(addr, name string) (net.Conn, error) {
 		return nil, err
 	}
 	if err := writeMessage(conn, &message{Type: msgRegister, Name: name}); err != nil {
+		//lint:ignore errdiscard best-effort close of a half-registered conn; the register error is returned
 		conn.Close()
 		return nil, err
 	}
@@ -146,6 +147,7 @@ func (w *Worker) reconnect(ctx context.Context, bo *backoff) (net.Conn, error) {
 			w.mu.Lock()
 			if w.closed {
 				w.mu.Unlock()
+				//lint:ignore errdiscard best-effort: the worker was closed while dialing; the fresh conn is discarded unused
 				conn.Close()
 				return nil, nil
 			}
@@ -302,6 +304,7 @@ func (w *Worker) closeConn() {
 	w.conn = nil
 	w.mu.Unlock()
 	if conn != nil {
+		//lint:ignore errdiscard force-drop by design: closing under the reader unblocks it; there is no recovery path for the error
 		conn.Close()
 	}
 }

@@ -27,6 +27,14 @@ func (f EvaluatorFunc) Evaluate(ctx context.Context, g Genome) (Fitness, error) 
 // limit, the analogue of the paper's two-hour subprocess TimeoutError.
 var ErrEvalTimeout = errors.New("ea: evaluation timed out")
 
+// clock is the package's single sanctioned wall-clock source, feeding
+// only the Runtime telemetry field — which is display/persist metadata
+// and never flows into fitness, selection or any campaign artifact.
+// Keeping it behind a variable lets tests freeze time.
+//
+//lint:ignore determinism Runtime is wall-clock telemetry only; it never feeds fitness or selection
+var clock = time.Now
+
 // PoolConfig configures the parallel evaluation pool.
 type PoolConfig struct {
 	// Parallelism is the number of concurrent evaluations, the analogue of
@@ -104,9 +112,9 @@ func EvaluateIndividual(ctx context.Context, ind *Individual, ev Evaluator, time
 		defer cancel()
 	}
 
-	start := time.Now()
+	start := clock()
 	fit, err := safeEvaluate(evalCtx, ind.Genome, ev)
-	ind.Runtime = time.Since(start)
+	ind.Runtime = clock().Sub(start)
 
 	if err == nil && evalCtx.Err() != nil {
 		// The evaluator returned success after its context ended; classify

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the set of known findings the gate tolerates.  Entries
+// are Diagnostic.Key() strings; the file may only shrink — new findings
+// fail the gate, and entries that no longer reproduce must be removed
+// with -update-baseline so the ratchet can never silently grow.
+type Baseline map[string]bool
+
+// ReadBaseline loads a baseline file.  A missing file is an empty
+// baseline (the desired steady state), not an error.
+func ReadBaseline(path string) (Baseline, error) {
+	b := Baseline{}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b[line] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the diagnostics as a sorted baseline file.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, d.Key())
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# lint baseline — known findings tolerated by the gate.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/lint -update-baseline ./...\n")
+	b.WriteString("# This file may only shrink; new findings must be fixed or //lint:ignore'd.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// Gate splits fresh diagnostics into new findings (not in the baseline)
+// and reports stale baseline entries that no longer reproduce.
+func Gate(diags []Diagnostic, base Baseline) (fresh []Diagnostic, stale []string) {
+	seen := map[string]bool{}
+	for _, d := range diags {
+		k := d.Key()
+		seen[k] = true
+		if !base[k] {
+			fresh = append(fresh, d)
+		}
+	}
+	for k := range base {
+		if !seen[k] {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// FormatDiags renders diagnostics one per line for terminal output.
+func FormatDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package lint
+
+// Mini golden-test harness in the spirit of x/tools' analysistest
+// (which we cannot depend on): each testdata/src/<case> directory is a
+// standalone package; comments of the form
+//
+//	// want "regexp"
+//
+// declare that a diagnostic matching the regexp must be reported on
+// that line.  The harness fails on missing wants, unexpected
+// diagnostics, and regexps that do not match what was reported — so any
+// drift in an analyzer's output breaks its golden test.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantArgRe accepts either Go-string or backtick quoting for the
+// expectation regexps; backticks avoid double-escaping.
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type wantDiag struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runGolden loads testdata/src/<name>, runs the analyzers, and checks
+// the diagnostics against the package's // want comments.
+func runGolden(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("type error in %s: %v", dir, e)
+	}
+
+	var wants []*wantDiag
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					expr := a[1]
+					if expr == "" {
+						expr = a[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags := Run(pkg, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Rule+": "+d.Msg) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re.String())
+		}
+	}
+	if t.Failed() {
+		t.Logf("all diagnostics:\n%s", FormatDiags(diags))
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T)      { runGolden(t, "determinism", Determinism) }
+func TestGoldenDeterminismScope(t *testing.T) { runGolden(t, "determinism_scope", Determinism) }
+func TestGoldenFloatEq(t *testing.T)          { runGolden(t, "floateq", FloatEq) }
+func TestGoldenCtxHygiene(t *testing.T)       { runGolden(t, "ctxhygiene", CtxHygiene) }
+func TestGoldenLockDiscipline(t *testing.T)   { runGolden(t, "lockdiscipline", LockDiscipline) }
+func TestGoldenErrDiscard(t *testing.T)       { runGolden(t, "errdiscard", ErrDiscard) }
+func TestGoldenErrDiscardScope(t *testing.T)  { runGolden(t, "errdiscard_scope", ErrDiscard) }
+
+// TestAnalyzerNamesUnique guards the suppression namespace.
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if fmt.Sprint(len(seen)) != "5" {
+		t.Errorf("expected 5 analyzers, have %d", len(seen))
+	}
+}

@@ -1,0 +1,216 @@
+// Package lint is a project-native static-analysis suite built on the
+// standard library's go/ast and go/types only (no x/tools dependency).
+// It enforces invariants that go vet cannot see but that the campaign
+// semantics depend on: bit-identical determinism in the numeric
+// packages, no exact float comparisons outside a small allowlist,
+// context hygiene in the distributed plane, lock discipline, and no
+// silently dropped I/O errors on the persistence paths.
+//
+// Diagnostics carry a rule ID (the analyzer name).  A finding can be
+// suppressed in place with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the same line or the line immediately above; the reason is
+// mandatory so every suppression documents why the invariant does not
+// apply.  Remaining findings are gated against a committed baseline
+// (scripts/lint_baseline.txt) that may only shrink.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+
+	diags *[]Diagnostic
+	rule  string
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  position,
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the canonical file:line:col: rule: message form used
+// in terminal output, baselines and golden tests.  The file path is
+// printed as recorded in the fileset (the loader records paths relative
+// to the module root).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Key is the position-insensitive-column baseline key: file:line plus
+// rule and message.  Columns are excluded so minor reformatting within
+// a line does not churn the baseline.
+func (d Diagnostic) Key() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule ID used in diagnostics and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the protected invariant.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		FloatEq,
+		CtxHygiene,
+		LockDiscipline,
+		ErrDiscard,
+	}
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics (suppressions applied), sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ImportPath: pkg.ImportPath,
+			diags:      &diags,
+			rule:       a.Name,
+		}
+		a.Run(pass)
+	}
+	diags = applyIgnores(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int // line the directive occupies
+	rules  map[string]bool
+	reason string
+}
+
+const ignorePrefix = "lint:ignore"
+
+// parseIgnores scans a package's comments for //lint:ignore directives.
+// Malformed directives (no rule, or no reason) are themselves reported
+// as findings under the pseudo-rule "lint-directive", so a suppression
+// can never silently fail to document itself.
+func parseIgnores(pkg *Package) (dirs []ignoreDirective, bad []Diagnostic) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "lint-directive",
+						Msg:  "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				rules := map[string]bool{}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[r] = true
+				}
+				dirs = append(dirs, ignoreDirective{
+					file:   pos.Filename,
+					line:   pos.Line,
+					rules:  rules,
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyIgnores removes diagnostics covered by a //lint:ignore on the
+// same line or the line immediately above, and appends any malformed-
+// directive findings.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs, bad := parseIgnores(pkg)
+	out := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.file != d.Pos.Filename || !dir.rules[d.Rule] {
+				continue
+			}
+			if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}
+
+// pathEnclosing returns the AST node stack from file root down to the
+// innermost node covering pos (a lightweight astutil.PathEnclosingInterval).
+func pathEnclosing(file *ast.File, pos token.Pos) []ast.Node {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+	return stack
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg materializes a throwaway single-file package and loads it.
+func writePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestMalformedIgnoreDirective: a reasonless //lint:ignore suppresses
+// nothing and is itself reported, so a suppression can never silently
+// fail to document itself.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	pkg := writePkg(t, `package nsga2
+
+import "time"
+
+func f() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}
+`)
+	diags := Run(pkg, []*Analyzer{Determinism})
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	joined := strings.Join(rules, ",")
+	if !strings.Contains(joined, "lint-directive") {
+		t.Errorf("malformed directive not reported; got rules %q", joined)
+	}
+	if !strings.Contains(joined, "determinism") {
+		t.Errorf("reasonless directive must not suppress; got rules %q", joined)
+	}
+}
+
+// TestIgnoreSameLineAndLineAbove pins the two accepted placements.
+func TestIgnoreSameLineAndLineAbove(t *testing.T) {
+	pkg := writePkg(t, `package nsga2
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //lint:ignore determinism same-line suppression
+}
+
+func g() time.Time {
+	//lint:ignore determinism line-above suppression
+	return time.Now()
+}
+
+func h() time.Time {
+	//lint:ignore floateq wrong rule does not suppress determinism
+	return time.Now()
+}
+`)
+	diags := Run(pkg, []*Analyzer{Determinism})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the wrong-rule finding to survive, got:\n%s", FormatDiags(diags))
+	}
+	if line := diags[0].Pos.Line; line != 16 {
+		t.Errorf("surviving finding at line %d, want 16 (inside h)", line)
+	}
+}
+
+func TestBaselineRoundTripAndGate(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: pos("a.go", 3), Rule: "floateq", Msg: "exact float comparison"},
+		{Pos: pos("b.go", 9), Rule: "errdiscard", Msg: "error dropped"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("baseline has %d entries, want 2", len(base))
+	}
+
+	// Same findings: nothing new, nothing stale.
+	fresh, stale := Gate(diags, base)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("identical run: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// One fixed, one new: the fixed entry is stale, the new one fresh.
+	next := []Diagnostic{
+		diags[0],
+		{Pos: pos("c.go", 1), Rule: "determinism", Msg: "time.Now"},
+	}
+	fresh, stale = Gate(next, base)
+	if len(fresh) != 1 || fresh[0].Pos.Filename != "c.go" {
+		t.Errorf("fresh = %v, want the c.go finding", fresh)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "b.go") {
+		t.Errorf("stale = %v, want the b.go entry", stale)
+	}
+}
+
+func TestReadBaselineMissingFileIsEmpty(t *testing.T) {
+	base, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 0 {
+		t.Errorf("missing baseline should be empty, got %v", base)
+	}
+}
+
+func pos(file string, line int) (p token.Position) {
+	p.Filename = file
+	p.Line = line
+	p.Column = 1
+	return p
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker complaints.  Analysis still runs
+	// (the checker fills Info best-effort), but the driver surfaces them
+	// so a finding is never silently missed due to missing type info.
+	TypeErrors []error
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks every module package matching the
+// go-list patterns, including in-package and external test variants.
+// Type information for imports is read from compiler export data
+// produced by `go list -export`, so the loader needs nothing outside
+// the standard library and the go tool itself.
+//
+// File positions are recorded relative to the module root, which keeps
+// diagnostics and baseline entries stable regardless of where the
+// driver runs.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-test", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,DepOnly,ForTest,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	moduleDir, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*listPkg
+	exports := map[string]string{}     // plain import path -> export file
+	testExports := map[string]string{} // ForTest path -> test-variant export file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		lp := p
+		pkgs = append(pkgs, &lp)
+		if lp.Export != "" {
+			if lp.ForTest != "" {
+				testExports[lp.ForTest] = lp.Export
+			} else {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+
+	// Pick analysis targets: module packages explicitly matched by the
+	// patterns.  When both "P" and its in-package test variant
+	// "P [P.test]" are listed, keep only the variant — it carries the
+	// same non-test files plus the _test.go files, so analyzing both
+	// would duplicate every diagnostic.
+	hasTestVariant := map[string]bool{}
+	for _, p := range pkgs {
+		// The in-package variant is named `P [P.test]`; the external
+		// _test package is `P_test [P.test]` and supersedes nothing.
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		switch {
+		case p.Standard || p.DepOnly:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthetic test main
+		case p.Error != nil:
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		case len(p.GoFiles) == 0:
+			continue
+		case p.ForTest == "" && hasTestVariant[p.ImportPath]:
+			continue // superseded by the test variant
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var loaded []*Package
+	for _, t := range targets {
+		lookup := exportLookup(exports, testExports, t.ForTest, moduleDir)
+		pkg, err := checkPackage(t, moduleDir, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		loaded = append(loaded, pkg)
+	}
+	return loaded, nil
+}
+
+// LoadDir parses every .go file directly inside dir as a single package
+// and type-checks it, resolving imports on demand via `go list -export`.
+// This is how the golden-test harness loads testdata packages that are
+// invisible to the go tool.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	t := &listPkg{Dir: dir, ImportPath: dir, GoFiles: files}
+	return checkPackage(t, dir, onDemandLookup(dir))
+}
+
+// checkPackage parses t's files and runs the type checker over them.
+func checkPackage(t *listPkg, baseDir string, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		abs := filepath.Join(t.Dir, name)
+		display := abs
+		if rel, err := filepath.Rel(baseDir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			display = filepath.ToSlash(rel)
+		}
+		src, err := os.ReadFile(abs)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	// "P [P.test]" type-checks under path P so self-references resolve.
+	path := t.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, files[0].Name.Name)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Name:       files[0].Name.Name,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+// exportLookup resolves import paths against the export files collected
+// from one `go list -deps` run.  A package under test (ForTest) resolves
+// to its test variant so external _test packages see test-only symbols.
+func exportLookup(exports, testExports map[string]string, forTest, moduleDir string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file := ""
+		if forTest != "" && path == forTest {
+			file = testExports[path]
+		}
+		if file == "" {
+			file = exports[path]
+		}
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return openExport(file)
+	}
+}
+
+var (
+	onDemandMu    sync.Mutex
+	onDemandCache = map[string]string{}
+)
+
+// onDemandLookup resolves imports by shelling out to `go list -export`
+// per package, with a process-wide cache.  Used only for testdata
+// packages, whose import sets are tiny (stdlib packages).
+func onDemandLookup(dir string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		onDemandMu.Lock()
+		file, ok := onDemandCache[path]
+		onDemandMu.Unlock()
+		if !ok {
+			cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+			cmd.Dir = dir
+			out, err := cmd.Output()
+			if err != nil {
+				return nil, fmt.Errorf("go list -export %s: %v", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			onDemandMu.Lock()
+			onDemandCache[path] = file
+			onDemandMu.Unlock()
+		}
+		return openExport(file)
+	}
+}
+
+func openExport(file string) (io.ReadCloser, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	return struct {
+		io.Reader
+		io.Closer
+	}{bufio.NewReader(f), f}, nil
+}
+
+// ModuleRoot returns the directory containing go.mod for dir.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module (go env GOMOD empty)")
+	}
+	return filepath.Dir(gomod), nil
+}

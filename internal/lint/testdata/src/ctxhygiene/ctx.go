@@ -1,0 +1,55 @@
+// Package cluster exercises the ctxhygiene analyzer.  The package name
+// matters: the cancellation-blind-send rule applies only to cluster.
+package cluster
+
+import (
+	"context"
+	"testing"
+)
+
+type storedCtx struct {
+	ctx context.Context // want `ctxhygiene: context\.Context stored in struct field "ctx"`
+	n   int
+}
+
+type cleanStruct struct {
+	n int
+}
+
+func ctxFirstOK(ctx context.Context, n int) {}
+
+func ctxSecond(n int, ctx context.Context) {} // want `ctxhygiene: context\.Context is parameter 1`
+
+func ctxAfterTestingOK(t *testing.T, ctx context.Context) {}
+
+func ctxThird(a, b string, ctx context.Context) {} // want `ctxhygiene: context\.Context is parameter 2`
+
+//lint:ignore ctxhygiene mirrors a third-party callback signature we cannot change
+func ctxSecondSuppressed(n int, ctx context.Context) {}
+
+func ctxSecondInLit() {
+	f := func(n int, ctx context.Context) {} // want `ctxhygiene: context\.Context is parameter 1`
+	_ = f
+}
+
+func blindSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `ctxhygiene: cancellation-blind channel send`
+}
+
+func selectSendOK(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func noCtxSendOK(ch chan int) {
+	// No ctx in scope: nothing to select on, so a bare send is the
+	// caller's problem, not this function's.
+	ch <- 1
+}
+
+func suppressedSend(ctx context.Context, ch chan struct{}) {
+	//lint:ignore ctxhygiene buffered handshake channel owned by this function; never blocks
+	ch <- struct{}{}
+}

@@ -1,0 +1,117 @@
+// Package nsga2 exercises the determinism analyzer: the package name is
+// in the deterministic set, so wall clocks, the global rand source, and
+// order-sensitive map iteration are all findings.
+package nsga2
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now() // want `determinism: time\.Now in deterministic package`
+	_ = start
+	return time.Since(start) // want `determinism: time\.Since in deterministic package`
+}
+
+func wallClockSuppressed() time.Time {
+	//lint:ignore determinism timestamp is display-only metadata, never feeds numerics
+	return time.Now()
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `determinism: global math/rand\.Float64`
+}
+
+func seededRandOK(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are allowlisted
+	return r.Float64()
+}
+
+func typeRefOK(r *rand.Rand) float64 { // the rand.Rand type is not the global source
+	return r.Float64()
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `determinism: map iteration appends to "keys"`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapAppendSuppressed(m map[string]int) []string {
+	var keys []string
+	//lint:ignore determinism keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `determinism: map iteration accumulates into float "sum"`
+		sum += v
+	}
+	return sum
+}
+
+func mapIntAccumOK(m map[string]int) int {
+	// Integer addition is associative and commutative: order cannot
+	// change the result, so this is not a finding.
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mapOrderedOutput(m map[string]float64, w io.Writer) {
+	for k, v := range m { // want `determinism: map iteration feeds ordered output`
+		fmt.Fprintf(w, "%s %v\n", k, v)
+	}
+}
+
+func subtestRegistration(t *testing.T, cases map[string]func(*testing.T)) {
+	for name, fn := range cases { // want `determinism: map iteration registers subtests/benchmarks in random order`
+		t.Run(name, fn)
+	}
+}
+
+func sprintfInMapRangeOK(m map[string]int) map[string]string {
+	// Sprintf only builds a string — it is not ordered output; the
+	// result lands back in a map, so order cannot leak.
+	out := make(map[string]string)
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%s=%d", k, v)
+	}
+	return out
+}
+
+func sliceRangeOK(s []float64) float64 {
+	// Slice iteration is ordered; accumulation is fine.
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+func mapLocalAccumOK(m map[string][]float64) {
+	// The accumulator is declared inside the loop body: per-key state,
+	// no cross-iteration order dependence.
+	for _, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		_ = sum
+	}
+}

@@ -1,0 +1,25 @@
+// Package mdutil is NOT in the deterministic set: wall clocks and the
+// global rand source are allowed here, so this package must produce no
+// determinism diagnostics at all.
+package mdutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockOK() time.Time {
+	return time.Now()
+}
+
+func globalRandOK() float64 {
+	return rand.Float64()
+}
+
+func mapAppendOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,74 @@
+// Package npy exercises the errdiscard analyzer.  The package name
+// matters: the rule applies to cluster, npy and dataset only.
+package npy
+
+import (
+	"encoding/json"
+	"io"
+)
+
+func writeFrame(w io.Writer) error {
+	_, err := w.Write([]byte("frame"))
+	return err
+}
+
+func process() error { return nil }
+
+func bareClose(c io.Closer) {
+	c.Close() // want `errdiscard: error from c\.Close dropped by bare call`
+}
+
+func blankClose(c io.Closer) {
+	_ = c.Close() // want `errdiscard: error from c\.Close assigned to _`
+}
+
+func handledCloseOK(c io.Closer) error {
+	return c.Close()
+}
+
+func deferredCloseOK(c io.Closer) {
+	// Deferred best-effort cleanup is the idiom; not a finding.
+	defer c.Close()
+}
+
+func deferredClosureOK(c io.Closer) {
+	// The defer exemption covers the deferred subtree: an explicit
+	// `_ =` inside a deferred cleanup closure is the same idiom as
+	// `defer c.Close()` itself.
+	defer func() {
+		_ = c.Close()
+	}()
+}
+
+func bareHelper(w io.Writer) {
+	writeFrame(w) // want `errdiscard: error from writeFrame dropped by bare call`
+}
+
+func blankHelper(w io.Writer) {
+	_ = writeFrame(w) // want `errdiscard: error from writeFrame assigned to _`
+}
+
+func nonIOBareOK() {
+	// Error-returning, but not an io/net/encode path by name or package.
+	process()
+}
+
+func blankWriteCount(w io.Writer) {
+	n, _ := w.Write([]byte("x")) // want `errdiscard: error from w\.Write assigned to _`
+	_ = n
+}
+
+func boundWriteOK(w io.Writer) error {
+	n, err := w.Write([]byte("x"))
+	_ = n
+	return err
+}
+
+func bareEncode(w io.Writer, v interface{}) {
+	json.NewEncoder(w).Encode(v) // want `errdiscard: error from json\.NewEncoder\(w\)\.Encode dropped by bare call`
+}
+
+func suppressedClose(c io.Closer) {
+	//lint:ignore errdiscard best-effort close on an error path; the write error is already returned
+	c.Close()
+}

@@ -1,0 +1,13 @@
+// Package mdutil is outside the errdiscard scope (cluster, npy,
+// dataset), so dropped I/O errors here are not findings.
+package mdutil
+
+import "io"
+
+func bareCloseOK(c io.Closer) {
+	c.Close()
+}
+
+func blankCloseOK(c io.Closer) {
+	_ = c.Close()
+}

@@ -1,0 +1,53 @@
+// Package floats exercises the floateq analyzer's findings and its
+// allowlist in non-test code.
+package floats
+
+import "math"
+
+const maxFitness = float64(1 << 63) // integral sentinel, like ea.MaxFitness
+const tuned = 0.0047                // non-integral constant
+
+func computedEq(a, b float64) bool {
+	return a == b // want `floateq: exact float comparison ==`
+}
+
+func computedNeq(a, b float64) bool {
+	return a != b // want `floateq: exact float comparison !=`
+}
+
+func suppressedEq(a, b float64) bool {
+	//lint:ignore floateq duplicate-point detection requires exact identity
+	return a == b
+}
+
+func zeroOK(a float64) bool {
+	return a == 0 // integral constant: exact guard
+}
+
+func sentinelOK(a float64) bool {
+	return a == maxFitness // integral constant: assigned, never computed
+}
+
+func nonIntegralConst(a float64) bool {
+	return a == tuned // want `floateq: exact float comparison ==`
+}
+
+func bothConstOK() bool {
+	return tuned == 0.0047 // compile-time comparison
+}
+
+func nanIdiomOK(a float64) bool {
+	return a != a // the NaN check
+}
+
+func infSentinelOK(a float64) bool {
+	return a == math.Inf(1)
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want `floateq: exact float comparison ==`
+}
+
+func intOK(a, b int) bool {
+	return a == b // integers compare exactly
+}

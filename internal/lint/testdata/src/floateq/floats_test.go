@@ -1,0 +1,33 @@
+// Test-file cases: exactness assertions and bit-identity asserts are
+// the idiom here, so the allowlist is wider — but helper functions that
+// compute with exact comparison are still findings.
+package floats
+
+import "testing"
+
+func TestConstAssertOK(t *testing.T) {
+	got := 0.0047
+	if got != 0.0047 { // constant comparison in a test: exactness assertion
+		t.Fatal("round-trip changed the value")
+	}
+}
+
+func TestBitIdentityAssertOK(t *testing.T) {
+	a := computeOnce()
+	b := computeOnce()
+	if a != b { // assert guard: mismatch fails the test
+		t.Fatalf("not bit-identical: %v vs %v", a, b)
+	}
+}
+
+func helperCompare(a, b float64) bool {
+	return a == b // want `floateq: exact float comparison ==`
+}
+
+func TestHelperUse(t *testing.T) {
+	if !helperCompare(computeOnce(), computeOnce()) {
+		t.Skip("helper is itself the finding above")
+	}
+}
+
+func computeOnce() float64 { return 1.0 / 3.0 }

@@ -1,0 +1,102 @@
+// Package locks exercises the lockdiscipline analyzer.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex // a lock as a field is fine
+	n  int
+}
+
+func byValueParam(mu sync.Mutex) {} // want `lockdiscipline: sync\.Mutex parameter by value`
+
+func byPointerOK(mu *sync.Mutex) {}
+
+func wgByValue(wg sync.WaitGroup) {} // want `lockdiscipline: sync\.WaitGroup parameter by value`
+
+func wgByPointerOK(wg *sync.WaitGroup) {}
+
+func byValueResult() sync.RWMutex { // want `lockdiscipline: sync\.RWMutex result by value`
+	return sync.RWMutex{}
+}
+
+func (g *guarded) leakyEarlyReturn(cond bool) int {
+	g.mu.Lock() // want `lockdiscipline: g\.mu held across a return`
+	if cond {
+		return 0 // leaks the lock
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) deferOK(cond bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return g.n
+}
+
+func (g *guarded) straightLineOK() int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) unlockThenReturnOK(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) deferredClosureOK(cond bool) int {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	if cond {
+		return 0
+	}
+	return g.n
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (g *rwGuarded) rlockLeaky(cond bool) int {
+	g.mu.RLock() // want `lockdiscipline: g\.mu held across a return`
+	if cond {
+		return 0
+	}
+	g.mu.RUnlock()
+	return g.n
+}
+
+func (g *rwGuarded) rlockDeferOK(cond bool) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if cond {
+		return 0
+	}
+	return g.n
+}
+
+func (g *guarded) suppressedHandoff(cond bool) int {
+	//lint:ignore lockdiscipline lock is handed off to the caller by contract
+	g.mu.Lock()
+	if cond {
+		return 0
+	}
+	g.mu.Unlock()
+	return g.n
+}

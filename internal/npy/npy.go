@@ -274,10 +274,12 @@ func WriteFile(path string, a *Array) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := Write(bw, a); err != nil {
+		//lint:ignore errdiscard error-path close: the write error being returned is the actionable one
 		f.Close()
 		return err
 	}
 	if err := bw.Flush(); err != nil {
+		//lint:ignore errdiscard error-path close: the flush error being returned is the actionable one
 		f.Close()
 		return err
 	}

@@ -28,16 +28,20 @@ func randomPop(rng *rand.Rand, n, m int) ea.Population {
 // RankOrdinalSort as the production path.
 func BenchmarkSortAblation(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
+	sorts := []struct {
+		name string
+		fn   SortFunc
+	}{
+		{"deb", FastNonDominatedSort},
+		{"rank", RankOrdinalSort},
+		{"two", TwoObjectiveSort},
+	}
 	for _, n := range []int{100, 200, 1000, 4000} {
 		pop := randomPop(rng, n, 2)
-		for name, fn := range map[string]SortFunc{
-			"deb":  FastNonDominatedSort,
-			"rank": RankOrdinalSort,
-			"two":  TwoObjectiveSort,
-		} {
-			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+		for _, s := range sorts {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					fn(pop)
+					s.fn(pop)
 				}
 			})
 		}

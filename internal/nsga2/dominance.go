@@ -60,6 +60,7 @@ func Equal(a, b ea.Fitness) bool {
 		return false
 	}
 	for i := range a {
+		//lint:ignore floateq Equal is defined as exact fitness-vector identity; callers rely on it for dedup, not closeness
 		if a[i] != b[i] {
 			return false
 		}

@@ -37,6 +37,7 @@ func Hypervolume2D(pop ea.Population, ref ea.Fitness) float64 {
 	// Keep only the non-dominated staircase: sort by f0 asc, f1 asc; keep
 	// points with strictly decreasing f1.
 	sort.Slice(pts, func(i, j int) bool {
+		//lint:ignore floateq lexicographic tie-break must distinguish exact bit-equality to keep the staircase deterministic
 		if pts[i][0] != pts[j][0] {
 			return pts[i][0] < pts[j][0]
 		}

@@ -103,6 +103,7 @@ func RankOrdinalSort(pop ea.Population) []ea.Population {
 		}
 		fa, fb := pop[ia].Fitness, pop[ib].Fitness
 		for k := range fa {
+			//lint:ignore floateq lexicographic tie-break must distinguish exact bit-equality to keep the order total and replayable
 			if fa[k] != fb[k] {
 				return fa[k] < fb[k]
 			}
@@ -178,6 +179,7 @@ func TwoObjectiveSort(pop ea.Population) []ea.Population {
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		fa, fb := pop[order[a]].Fitness, pop[order[b]].Fitness
+		//lint:ignore floateq lexicographic tie-break must distinguish exact bit-equality to keep the order total and replayable
 		if fa[0] != fb[0] {
 			return fa[0] < fb[0]
 		}
@@ -206,6 +208,7 @@ func TwoObjectiveSort(pop ea.Population) []ea.Population {
 		for lo < hi {
 			mid := (lo + hi) / 2
 			t := tails[mid]
+			//lint:ignore floateq dominance boundary: Deb dominance is defined on exact objective values; an epsilon would merge distinct fronts
 			dominated := t.minF1 < c1 || (t.minF1 == c1 && t.f0AtMin < c0)
 			if dominated {
 				lo = mid + 1
@@ -216,7 +219,7 @@ func TwoObjectiveSort(pop ea.Population) []ea.Population {
 		if lo == len(fronts) {
 			fronts = append(fronts, ea.Population{})
 			tails = append(tails, tail{minF1: c1, f0AtMin: c0})
-		} else if c1 < tails[lo].minF1 || (c1 == tails[lo].minF1 && c0 < tails[lo].f0AtMin) {
+		} else if c1 < tails[lo].minF1 || (c1 == tails[lo].minF1 && c0 < tails[lo].f0AtMin) { //lint:ignore floateq dominance boundary: exact tie detection keeps the front assignment identical to the Deb sort
 			tails[lo] = tail{minF1: c1, f0AtMin: c0}
 		}
 		cand.Rank = lo

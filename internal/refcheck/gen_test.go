@@ -57,5 +57,6 @@ func sameFloat(a, b float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return math.IsNaN(a) && math.IsNaN(b)
 	}
+	//lint:ignore floateq sameFloat IS the bit-identity helper the golden campaign is built on
 	return a == b
 }

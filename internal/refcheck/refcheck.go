@@ -134,6 +134,7 @@ func CrowdingDistances(fits []ea.Fitness) []float64 {
 		hi := fits[order[n-1]][obj]
 		out[order[0]] = math.Inf(1)
 		out[order[n-1]] = math.Inf(1)
+		//lint:ignore floateq degenerate-range guard: every objective value identical means crowding distance is undefined
 		if hi == lo {
 			continue
 		}
@@ -209,6 +210,7 @@ func Hypervolume2D(fits []ea.Fitness, ref ea.Fitness) float64 {
 	sort.Float64s(xs)
 	uniq := xs[:1]
 	for _, x := range xs[1:] {
+		//lint:ignore floateq dedup over a sorted slice: only bitwise-identical breakpoints are duplicates
 		if x != uniq[len(uniq)-1] {
 			uniq = append(uniq, x)
 		}

@@ -56,6 +56,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floateq Spearman tie groups are defined by exact value identity; an epsilon would merge distinct ranks
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

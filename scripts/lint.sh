@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Project-native static analysis gate.
+#
+# Runs the internal/lint suite (determinism, floateq, ctxhygiene,
+# lockdiscipline, errdiscard) over the whole module and fails on any
+# finding not covered by scripts/lint_baseline.txt.  The baseline is a
+# ratchet: it may only shrink, and stale entries fail the gate too.
+#
+# Usage:
+#   scripts/lint.sh                 # gate (CI entry point)
+#   scripts/lint.sh -update-baseline  # rewrite the baseline after fixes
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/lint "$@" ./...
