@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/ea"
 	"repro/internal/hpo"
 	"repro/internal/surrogate"
 )
@@ -45,6 +46,7 @@ func main() {
 	taskTimeout := flag.Duration("task-timeout", 2*time.Hour, "worker: per-task execution cap (the paper's two-hour limit)")
 	heartbeat := flag.Duration("heartbeat", 15*time.Second, "worker: lease-renewal interval while executing; 0 disables")
 	maxReconnects := flag.Int("max-reconnects", 0, "worker: consecutive failed re-dials before giving up; 0 retries forever")
+	noMemo := flag.Bool("no-memo", false, "drive: disable genome-keyed fitness memoization")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -110,9 +112,18 @@ func main() {
 		}
 		client.Logf = log.Printf
 		defer client.Close()
+		// Memoize by genome so exact-duplicate individuals never travel to
+		// a worker at all — a cluster round trip plus a full training
+		// saved per duplicate.
+		var evaluator ea.Evaluator = &cluster.Evaluator{Client: client}
+		var memo *ea.MemoEvaluator
+		if !*noMemo {
+			memo = ea.NewMemoEvaluator(evaluator)
+			evaluator = memo
+		}
 		res, err := hpo.RunCampaign(ctx, hpo.CampaignConfig{
 			Runs: *runs, PopSize: *pop, Generations: *gens,
-			Evaluator:   &cluster.Evaluator{Client: client},
+			Evaluator:   evaluator,
 			Parallelism: *pop, AnnealFactor: 0.85, BaseSeed: *seed,
 		})
 		if err != nil {
@@ -120,6 +131,11 @@ func main() {
 		}
 		fmt.Printf("campaign done: %d evaluations, %d failures, frontier:\n",
 			res.TotalEvaluations(), res.TotalFailures())
+		if memo != nil {
+			st := memo.Stats()
+			fmt.Printf("memo cache: %d hits, %d misses, %d entries\n",
+				st.Hits, st.Misses, st.Entries)
+		}
 		for i, ind := range res.ParetoFront() {
 			h, _ := hpo.Decode(ind.Genome)
 			fmt.Printf("  %2d energy=%.4f force=%.4f  %s\n", i+1, ind.Fitness[0], ind.Fitness[1], h)

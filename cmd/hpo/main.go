@@ -44,6 +44,7 @@ func main() {
 	out := flag.String("out", "", "CSV output path (default stdout)")
 	saveJSON := flag.String("save", "", "also save the full campaign (every generation) as JSON")
 	timeout := flag.Duration("timeout", 2*time.Hour, "per-evaluation limit (paper: 2h)")
+	noMemo := flag.Bool("no-memo", false, "disable genome-keyed fitness memoization")
 	flag.Parse()
 
 	var evaluator ea.Evaluator
@@ -78,6 +79,15 @@ func main() {
 		log.Fatalf("unknown backend %q", *backend)
 	}
 
+	// Exact-duplicate genomes (unmutated clones, converged populations)
+	// re-train nothing new; serve them from the memo cache unless opted
+	// out.
+	var memo *ea.MemoEvaluator
+	if !*noMemo {
+		memo = ea.NewMemoEvaluator(evaluator)
+		evaluator = memo
+	}
+
 	fmt.Fprintf(os.Stderr, "hpo: backend=%s runs=%d pop=%d gens=%d (%d evaluations)\n",
 		*backend, *runs, *pop, *gens, *runs**pop*(*gens+1))
 	start := time.Now()
@@ -95,6 +105,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hpo: done in %v; %d evaluations, %d failures\n",
 		time.Since(start).Round(time.Millisecond), res.TotalEvaluations(), res.TotalFailures())
+	if memo != nil {
+		st := memo.Stats()
+		fmt.Fprintf(os.Stderr, "hpo: memo cache: %d hits, %d misses, %d entries\n",
+			st.Hits, st.Misses, st.Entries)
+	}
 
 	if *saveJSON != "" {
 		if err := hpo.SaveCampaignFile(*saveJSON, res); err != nil {

@@ -127,9 +127,49 @@ type evalScratch struct {
 	sdesc *descriptor.Descriptor
 	sfit  []*nn.MLP
 
+	// Tiled-evaluation state (computeTile): per-slot environments,
+	// energies, and coordinate-gradient buffers, plus fitting-net batch
+	// scratch.  Each slot's dcoord buffer shares s.dcoord's invariant:
+	// all zeros outside a compute/merge pair.
+	envs   []*descriptor.Env
+	tileE  []float64
+	tileDc [][]float64
+	ftTape *nn.BatchTape
+	ftIn   []float64
+	ftDy   []float64
+	ftRows []int
+
 	// Frame-level scratch for EvalErrors / public wrappers.
 	nl     neighbor.List
 	forces []float64
+}
+
+// ensureTile sizes the tiled-evaluation buffers for n atom slots in a
+// configuration of n3 coordinates.
+func (s *evalScratch) ensureTile(n, n3 int) {
+	if len(s.envs) < n {
+		s.envs = append(s.envs, make([]*descriptor.Env, n-len(s.envs))...)
+	}
+	if len(s.tileE) < n {
+		s.tileE = append(s.tileE, make([]float64, n-len(s.tileE))...)
+	}
+	if len(s.tileDc) < n {
+		s.tileDc = append(s.tileDc, make([][]float64, n-len(s.tileDc))...)
+	}
+	for k := 0; k < n; k++ {
+		if len(s.tileDc[k]) != n3 {
+			s.tileDc[k] = make([]float64, n3)
+		}
+	}
+}
+
+// ensureLen returns buf resized to n, reusing its backing array when the
+// capacity allows.
+func ensureLen(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 func (m *Model) getScratch(n3 int) *evalScratch {
@@ -167,7 +207,8 @@ const (
 // computeAtom evaluates atom i into the scratch: descriptor forward,
 // fitting forward, and the backward pass the mode calls for.  It touches
 // no shared mutable state; gradients land in the scratch's shadow shards
-// and s.dcoord.
+// and s.dcoord.  The batched inference paths use computeTile instead;
+// this per-atom path remains for modeGrad, whose shard merge is per-atom.
 func (m *Model) computeAtom(s *evalScratch, mode evalMode, coord []float64, types []int, box float64, i int, nl *neighbor.List, scale float64) {
 	desc := m.Desc
 	fit := m.Fit[types[i]]
@@ -194,9 +235,105 @@ func (m *Model) computeAtom(s *evalScratch, mode evalMode, coord []float64, type
 	}
 }
 
+// fitTile is the atom-tile width of the batched inference paths: energy
+// and force evaluation feed up to this many descriptor outputs through
+// each fitting network per ForwardBatch/InputGradBatch call.  Training-
+// mode gradient accumulation stays per-atom (tile 1) so the per-atom
+// shard merge keeps its fixed reduction order.
+const fitTile = 16
+
+// tileBounds returns the atom index range [lo, hi) of tile u.
+func tileBounds(u, nAtoms int) (lo, hi int) {
+	lo = u * fitTile
+	hi = lo + fitTile
+	if hi > nAtoms {
+		hi = nAtoms
+	}
+	return lo, hi
+}
+
+// computeTile evaluates atoms [u·fitTile, …) into the scratch's tile
+// slots: per-atom descriptor forwards, then one batched fitting-net
+// forward (and, for modeForces, one batched input-gradient pass) per
+// species present in the tile.  Every per-atom value is bit-identical to
+// computeAtom's: batch rows reduce in the scalar order, and each slot's
+// coordinate gradients accumulate into a private buffer exactly as the
+// per-atom path did.  mode must be modeEnergy or modeForces.
+func (m *Model) computeTile(s *evalScratch, mode evalMode, coord []float64, types []int, box float64, u int, nl *neighbor.List) {
+	lo, hi := tileBounds(u, len(types))
+	n := hi - lo
+	s.ensureTile(n, len(coord))
+	outDim := m.Cfg.Descriptor.OutDim()
+	for k := 0; k < n; k++ {
+		s.envs[k] = m.Desc.ForwardEnv(s.envs[k], coord, types, box, lo+k, nl.Candidates(lo+k))
+	}
+	if s.ftTape == nil {
+		s.ftTape = &nn.BatchTape{}
+	}
+	for t := 0; t < m.Cfg.NumSpecies; t++ {
+		rows := s.ftRows[:0]
+		for k := 0; k < n; k++ {
+			if types[lo+k] == t {
+				rows = append(rows, k)
+			}
+		}
+		s.ftRows = rows
+		if len(rows) == 0 {
+			continue
+		}
+		s.ftIn = ensureLen(s.ftIn, len(rows)*outDim)
+		for r, k := range rows {
+			copy(s.ftIn[r*outDim:(r+1)*outDim], s.envs[k].Out())
+		}
+		out := m.Fit[t].ForwardBatch(s.ftTape, s.ftIn, len(rows))
+		for r, k := range rows {
+			s.tileE[k] = out[r] + m.Bias[t]
+		}
+		if mode == modeForces {
+			s.ftDy = ensureLen(s.ftDy, len(rows))
+			for r := range s.ftDy {
+				s.ftDy[r] = 1
+			}
+			dEdD := m.Fit[t].InputGradBatch(s.ftTape, s.ftDy, len(rows))
+			for r, k := range rows {
+				m.Desc.Backward(s.envs[k], dEdD[r*outDim:(r+1)*outDim], s.tileDc[k], false)
+			}
+		}
+	}
+}
+
+// mergeTile folds a computed tile into the global accumulators in strict
+// atom order, restoring each slot's zeroed-dcoord invariant.
+func (m *Model) mergeTile(s *evalScratch, mode evalMode, types []int, u int, energy *float64, dcoord []float64) {
+	lo, hi := tileBounds(u, len(types))
+	for k := 0; k < hi-lo; k++ {
+		*energy += s.tileE[k]
+		if mode == modeEnergy {
+			continue
+		}
+		env := s.envs[k]
+		dc := s.tileDc[k]
+		c := env.Center()
+		for x := 0; x < 3; x++ {
+			if dcoord != nil {
+				dcoord[3*c+x] += dc[3*c+x]
+			}
+			dc[3*c+x] = 0
+		}
+		for _, j := range env.NeighborAtoms() {
+			for x := 0; x < 3; x++ {
+				if dcoord != nil {
+					dcoord[3*j+x] += dc[3*j+x]
+				}
+				dc[3*j+x] = 0
+			}
+		}
+	}
+}
+
 // mergeAtom folds the scratch's per-atom results into the global
 // accumulators and restores the scratch invariants (zeroed dcoord
-// entries, zeroed shadow grads).  forEachAtom calls it in strict
+// entries, zeroed shadow grads).  forEachUnit calls it in strict
 // atom-index order, which fixes the floating-point reduction order
 // independent of the worker count.
 func (m *Model) mergeAtom(s *evalScratch, mode evalMode, t int, energy *float64, dcoord []float64) {
@@ -228,20 +365,21 @@ func (m *Model) mergeAtom(s *evalScratch, mode evalMode, t int, energy *float64,
 	}
 }
 
-// forEachAtom runs compute for every atom and merge in strict atom order.
-// With threads <= 1 (or few atoms) it runs inline; otherwise a bounded
-// worker pool computes atoms concurrently while the calling goroutine
-// merges results as their turn comes up.  Because merge order is always
-// ascending atom index, the arithmetic — and therefore every bit of the
-// output — is identical for any worker count.
-func (m *Model) forEachAtom(nAtoms, n3 int, compute func(*evalScratch, int), merge func(*evalScratch, int)) {
+// forEachUnit runs compute for every work unit (an atom, or a fitTile of
+// atoms) and merge in strict unit order.  With threads <= 1 (or few
+// units) it runs inline; otherwise a bounded worker pool computes units
+// concurrently while the calling goroutine merges results as their turn
+// comes up.  Because merge order is always ascending unit index — and
+// units cover ascending atom ranges — the arithmetic, and therefore every
+// bit of the output, is identical for any worker count.
+func (m *Model) forEachUnit(nUnits, n3 int, compute func(*evalScratch, int), merge func(*evalScratch, int)) {
 	threads := m.threads
-	if threads > nAtoms {
-		threads = nAtoms
+	if threads > nUnits {
+		threads = nUnits
 	}
 	if threads <= 1 {
 		s := m.getScratch(n3)
-		for i := 0; i < nAtoms; i++ {
+		for i := 0; i < nUnits; i++ {
 			compute(s, i)
 			merge(s, i)
 		}
@@ -267,11 +405,11 @@ func (m *Model) forEachAtom(nAtoms, n3 int, compute func(*evalScratch, int), mer
 			defer wg.Done()
 			for {
 				// Take a scratch before claiming an index: a worker that
-				// owns the next-to-merge atom must never block on the
+				// owns the next-to-merge unit must never block on the
 				// free list, or the pipeline deadlocks.
 				s := <-free
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= nAtoms {
+				if i >= nUnits {
 					free <- s
 					return
 				}
@@ -280,11 +418,11 @@ func (m *Model) forEachAtom(nAtoms, n3 int, compute func(*evalScratch, int), mer
 			}
 		}()
 	}
-	pending := make([]*evalScratch, nAtoms)
-	for want := 0; want < nAtoms; {
+	pending := make([]*evalScratch, nUnits)
+	for want := 0; want < nUnits; {
 		r := <-results
 		pending[r.i] = r.s
-		for want < nAtoms && pending[want] != nil {
+		for want < nUnits && pending[want] != nil {
 			merge(pending[want], want)
 			free <- pending[want]
 			pending[want] = nil
@@ -296,6 +434,11 @@ func (m *Model) forEachAtom(nAtoms, n3 int, compute func(*evalScratch, int), mer
 	for s := range free {
 		m.putScratch(s)
 	}
+}
+
+// forEachTile is forEachUnit over fitTile-wide atom tiles.
+func (m *Model) forEachTile(nAtoms, n3 int, compute func(*evalScratch, int), merge func(*evalScratch, int)) {
+	m.forEachUnit((nAtoms+fitTile-1)/fitTile, n3, compute, merge)
 }
 
 // withList builds a skinless neighbor list for the configuration in
@@ -319,12 +462,12 @@ func (m *Model) Energy(coord []float64, types []int, box float64) (energy float6
 // these coordinates, or for nearby ones within the list's skin).
 func (m *Model) EnergyNL(nl *neighbor.List, coord []float64, types []int, box float64) float64 {
 	energy := 0.0
-	m.forEachAtom(len(types), len(coord),
-		func(s *evalScratch, i int) {
-			m.computeAtom(s, modeEnergy, coord, types, box, i, nl, 0)
+	m.forEachTile(len(types), len(coord),
+		func(s *evalScratch, u int) {
+			m.computeTile(s, modeEnergy, coord, types, box, u, nl)
 		},
-		func(s *evalScratch, i int) {
-			m.mergeAtom(s, modeEnergy, types[i], &energy, nil)
+		func(s *evalScratch, u int) {
+			m.mergeTile(s, modeEnergy, types, u, &energy, nil)
 		})
 	return energy
 }
@@ -345,12 +488,12 @@ func (m *Model) EnergyForcesNL(nl *neighbor.List, coord []float64, types []int, 
 	for k := range forces {
 		forces[k] = 0
 	}
-	m.forEachAtom(len(types), len(coord),
-		func(s *evalScratch, i int) {
-			m.computeAtom(s, modeForces, coord, types, box, i, nl, 0)
+	m.forEachTile(len(types), len(coord),
+		func(s *evalScratch, u int) {
+			m.computeTile(s, modeForces, coord, types, box, u, nl)
 		},
-		func(s *evalScratch, i int) {
-			m.mergeAtom(s, modeForces, types[i], &energy, forces)
+		func(s *evalScratch, u int) {
+			m.mergeTile(s, modeForces, types, u, &energy, forces)
 		})
 	for k := range forces {
 		forces[k] = -forces[k]
@@ -375,7 +518,7 @@ func (m *Model) AccumulateEnergyGrad(coord []float64, types []int, box float64, 
 // list's build coordinates and coord.
 func (m *Model) AccumulateEnergyGradNL(nl *neighbor.List, coord []float64, types []int, box float64, scale float64) float64 {
 	energy := 0.0
-	m.forEachAtom(len(types), len(coord),
+	m.forEachUnit(len(types), len(coord),
 		func(s *evalScratch, i int) {
 			m.computeAtom(s, modeGrad, coord, types, box, i, nl, scale)
 		},
@@ -398,13 +541,11 @@ func (m *Model) evalFrame(s *evalScratch, coord []float64, types []int, box floa
 	for k := range s.forces {
 		s.forces[k] = 0
 	}
-	if len(s.dcoord) != len(coord) {
-		s.dcoord = make([]float64, len(coord))
-	}
 	energy := 0.0
-	for i := range types {
-		m.computeAtom(s, modeForces, coord, types, box, i, &s.nl, 0)
-		m.mergeAtom(s, modeForces, types[i], &energy, s.forces)
+	nUnits := (len(types) + fitTile - 1) / fitTile
+	for u := 0; u < nUnits; u++ {
+		m.computeTile(s, modeForces, coord, types, box, u, &s.nl)
+		m.mergeTile(s, modeForces, types, u, &energy, s.forces)
 	}
 	for k := range s.forces {
 		s.forces[k] = -s.forces[k]

@@ -132,14 +132,30 @@ func New(rng *rand.Rand, cfg Config) (*Descriptor, error) {
 type neighbor struct {
 	j        int        // neighbour atom index
 	embedIdx int        // embedding-network index for this pair
+	bIdx     int        // index of the neighbour's netBatch in Env.batches
+	bRow     int        // row of this neighbour in its batch matrices
 	d        [3]float64 // minimum-image displacement from center to neighbour
 	r        float64    // |d|
 	s        float64    // s(r)
 	ds       float64    // ds/dr
-	sIn      [1]float64 // embedding input buffer (avoids a per-call alloc)
-	g        []float64  // embedding output, len M1 (tape-owned)
-	tape     *nn.Tape   // embedding forward tape, reused across Forwards
+	g        []float64  // embedding output row, len M1 (batch-tape-owned)
 	rhat     [4]float64 // environment row (s, s·dx/r, s·dy/r, s·dz/r)
+	dr       [4]float64 // backward scratch: dL/dR̃ rows
+}
+
+// netBatch gathers every neighbour sharing one embedding network so the
+// whole group runs through the net as a single ForwardBatch/BackwardBatch
+// instead of per-neighbour vector passes.  Rows keep the neighbours'
+// ascending scan order, so per-net gradient accumulation follows exactly
+// the order the per-neighbour path used.
+type netBatch struct {
+	net  int           // embedding-network index
+	n    int           // active rows
+	in   []float64     // n×1 inputs s(r)
+	out  []float64     // n×M1 outputs (tape-owned view)
+	dy   []float64     // n×M1 upstream gradients (backward scratch)
+	ds   []float64     // n×1 input gradients (tape-owned view)
+	tape *nn.BatchTape // reused across Forwards; all nets share one shape
 }
 
 // Env is the evaluated environment of one atom, retained for backprop.
@@ -153,9 +169,15 @@ type Env struct {
 	t1     []float64 // 4×M1 row-major: T1[a][m] = Σ_j R̃_j[a]·G_j[m] / norm
 	out    []float64 // flattened descriptor, M1×M2
 
+	// Per-net batches: batches[:nBatches] are active, one per embedding
+	// net touched, in first-touch order.  embedBatch[net] is the batch
+	// slot for a touched net.
+	batches    []netBatch
+	nBatches   int
+	embedBatch []int
+
 	// Backward scratch, reused across calls.
 	dT1 []float64
-	dg  []float64
 
 	// Per-call bookkeeping for shard merging: which embedding nets this
 	// environment touched (first-touch order) and which atoms appear.
@@ -201,12 +223,14 @@ func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box floa
 	env.n = 0
 	if len(env.embedTouched) != len(d.Embed) {
 		env.embedTouched = make([]bool, len(d.Embed))
+		env.embedBatch = make([]int, len(d.Embed))
 	}
 	for _, e := range env.embedNets {
 		env.embedTouched[e] = false
 	}
 	env.embedNets = env.embedNets[:0]
 	env.nbrAtoms = env.nbrAtoms[:0]
+	env.nBatches = 0
 
 	rc2 := d.Cfg.RCut * d.Cfg.RCut
 	consider := func(j int) {
@@ -235,11 +259,6 @@ func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box floa
 		s, ds := d.Switch.EvalDeriv(r)
 		eIdx := d.embedIndex(types[i], types[j])
 		nb.j, nb.embedIdx, nb.d, nb.r, nb.s, nb.ds = j, eIdx, dd, r, s, ds
-		if nb.tape == nil {
-			nb.tape = &nn.Tape{}
-		}
-		nb.sIn[0] = s
-		nb.g = d.Embed[eIdx].ForwardT(nb.tape, nb.sIn[:])
 		nb.rhat[0] = s
 		for k := 0; k < 3; k++ {
 			nb.rhat[k+1] = s * dd[k] / r
@@ -247,7 +266,19 @@ func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box floa
 		if !env.embedTouched[eIdx] {
 			env.embedTouched[eIdx] = true
 			env.embedNets = append(env.embedNets, eIdx)
+			if env.nBatches == len(env.batches) {
+				env.batches = append(env.batches, netBatch{})
+			}
+			b := &env.batches[env.nBatches]
+			b.net, b.n = eIdx, 0
+			b.in = b.in[:0]
+			env.embedBatch[eIdx] = env.nBatches
+			env.nBatches++
 		}
+		b := &env.batches[env.embedBatch[eIdx]]
+		nb.bIdx, nb.bRow = env.embedBatch[eIdx], b.n
+		b.in = append(b.in, s)
+		b.n++
 		env.nbrAtoms = append(env.nbrAtoms, j)
 	}
 	if cand != nil {
@@ -258,6 +289,22 @@ func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box floa
 		for j := range types {
 			consider(j)
 		}
+	}
+
+	// Batched embedding: every neighbour sharing a net runs through it as
+	// one ForwardBatch.  Row r of each batch is bit-identical to the old
+	// per-neighbour scalar forward, so everything downstream sees the same
+	// bits in the same order.
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		if b.tape == nil {
+			b.tape = &nn.BatchTape{}
+		}
+		b.out = d.Embed[b.net].ForwardBatch(b.tape, b.in, b.n)
+	}
+	for ni := 0; ni < env.n; ni++ {
+		nb := &env.nbrs[ni]
+		nb.g = env.batches[nb.bIdx].out[nb.bRow*m1 : (nb.bRow+1)*m1]
 	}
 
 	// T1[a][m] = Σ_j R̃_j[a] G_j[m] / norm.
@@ -339,37 +386,54 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 	}
 
 	inv := 1 / d.Cfg.NeighborNorm
+	// Phase 1: per-neighbour upstream gradients, in neighbour scan order.
+	// Each neighbour's dL/dG row lands in its net batch's dy matrix; the
+	// R̃-row gradients are stashed on the neighbour for phase 3.
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		b.dy = ensureZeroed(b.dy, b.n*m1)
+	}
 	for ni := 0; ni < env.n; ni++ {
 		nb := &env.nbrs[ni]
 		// dL/dG_j[m] = Σ_a dT1[a][m]·R̃_j[a]/norm
-		env.dg = ensureZeroed(env.dg, m1)
-		dg := env.dg
-		// dL/dR̃_j[a] = Σ_m dT1[a][m]·G_j[m]/norm
-		var dr [4]float64
+		dg := env.batches[nb.bIdx].dy[nb.bRow*m1 : (nb.bRow+1)*m1]
 		for a := 0; a < 4; a++ {
 			ra := nb.rhat[a] * inv
 			da := dT1[a*m1 : (a+1)*m1]
+			// dL/dR̃_j[a] = Σ_m dT1[a][m]·G_j[m]/norm
 			sum := 0.0
 			for m := 0; m < m1; m++ {
 				dg[m] += da[m] * ra
 				sum += da[m] * nb.g[m]
 			}
-			dr[a] = sum * inv
+			nb.dr[a] = sum * inv
 		}
+	}
 
-		// Through the embedding network to its scalar input s.
-		var dsEmbed float64
-		net := d.Embed[nb.embedIdx]
+	// Phase 2: through the embedding networks to their scalar inputs, one
+	// batched backward per net.  Rows accumulate into each net's gradient
+	// shards in ascending row order — the same subsequence order the
+	// per-neighbour path used, since only a net's own neighbours ever touch
+	// its accumulators.
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		net := d.Embed[b.net]
 		if train {
-			dsEmbed = net.Backward(nb.tape, dg)[0]
+			b.ds = net.BackwardBatch(b.tape, b.dy, b.n)
 		} else {
-			dsEmbed = net.InputGrad(nb.tape, dg)[0]
+			b.ds = net.InputGradBatch(b.tape, b.dy, b.n)
 		}
+	}
+
+	// Phase 3: geometry chain rule, again in neighbour scan order.
+	for ni := 0; ni < env.n; ni++ {
+		nb := &env.nbrs[ni]
+		dsEmbed := env.batches[nb.bIdx].ds[nb.bRow]
 
 		// Total dL/ds: embedding path + R̃ rows.
-		dLds := dsEmbed + dr[0]
+		dLds := dsEmbed + nb.dr[0]
 		for k := 0; k < 3; k++ {
-			dLds += dr[k+1] * nb.d[k] / nb.r
+			dLds += nb.dr[k+1] * nb.d[k] / nb.r
 		}
 
 		// dL/dd_k: s-dependence via ds/dr·d_k/r plus the direct d
@@ -383,7 +447,7 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 				if k == l {
 					delta = 1
 				}
-				dd[k] += dr[l+1] * nb.s * (delta/nb.r - nb.d[k]*nb.d[l]/(nb.r*nb.r*nb.r))
+				dd[k] += nb.dr[l+1] * nb.s * (delta/nb.r - nb.d[k]*nb.d[l]/(nb.r*nb.r*nb.r))
 			}
 		}
 		for k := 0; k < 3; k++ {

@@ -1,0 +1,196 @@
+package ea
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGenomeKeyExactBits(t *testing.T) {
+	a := Genome{1.0, 2.0}
+	b := Genome{1.0, 2.0}
+	if GenomeKey(a) != GenomeKey(b) {
+		t.Fatal("identical genomes must share a key")
+	}
+	c := Genome{1.0, 2.0000000000000004}
+	if GenomeKey(a) == GenomeKey(c) {
+		t.Fatal("nearby genomes must not collide")
+	}
+	if GenomeKey(Genome{0.0}) == GenomeKey(Genome{math.Copysign(0, -1)}) {
+		t.Fatal("+0 and -0 differ in bits and must differ in key")
+	}
+}
+
+func TestMemoEvaluatorCachesDuplicates(t *testing.T) {
+	var calls int32
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		atomic.AddInt32(&calls, 1)
+		return Fitness{g[0] * 2, g[0] * 3}, nil
+	})
+	m := NewMemoEvaluator(inner)
+	ctx := context.Background()
+
+	f1, err := m.Evaluate(ctx, Genome{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.Evaluate(ctx, Genome{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1[0] != f2[0] || f1[1] != f2[1] {
+		t.Fatalf("cached fitness mismatch: %v vs %v", f1, f2)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("inner evaluator ran %d times, want 1", n)
+	}
+	// The cached copy must be defensive: mutating one result must not
+	// corrupt the cache.
+	f2[0] = -1
+	f3, _ := m.Evaluate(ctx, Genome{1.5})
+	if f3[0] != 3.0 {
+		t.Fatalf("cache corrupted by caller mutation: %v", f3)
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 2 hits, 1 entry", st)
+	}
+}
+
+func TestMemoEvaluatorDoesNotCacheFailures(t *testing.T) {
+	var calls int32
+	boom := errors.New("boom")
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return nil, boom
+		}
+		return Fitness{42}, nil
+	})
+	m := NewMemoEvaluator(inner)
+	ctx := context.Background()
+
+	if _, err := m.Evaluate(ctx, Genome{7}); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	fit, err := m.Evaluate(ctx, Genome{7})
+	if err != nil || fit[0] != 42 {
+		t.Fatalf("retry after failure: fit=%v err=%v", fit, err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 2 {
+		t.Fatalf("inner ran %d times, want 2 (failure not cached)", n)
+	}
+}
+
+func TestMemoEvaluatorCoalescesConcurrentDuplicates(t *testing.T) {
+	var calls int32
+	release := make(chan struct{})
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		atomic.AddInt32(&calls, 1)
+		<-release
+		return Fitness{g[0]}, nil
+	})
+	m := NewMemoEvaluator(inner)
+	ctx := context.Background()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	fits := make([]Fitness, workers)
+	started := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			started <- struct{}{}
+			fits[w], errs[w] = m.Evaluate(ctx, Genome{9})
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil || fits[w][0] != 9 {
+			t.Fatalf("worker %d: fit=%v err=%v", w, fits[w], errs[w])
+		}
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("inner ran %d times under contention, want 1", n)
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats = %+v, want 1 miss, %d hits", st, workers-1)
+	}
+}
+
+func TestMemoEvaluatorWaiterHonorsCancellation(t *testing.T) {
+	release := make(chan struct{})
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		<-release
+		return Fitness{1}, nil
+	})
+	m := NewMemoEvaluator(inner)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if _, err := m.Evaluate(context.Background(), Genome{3}); err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	// Wait until the leader has published its in-flight entry.
+	for {
+		if m.Stats().Misses == 1 {
+			break
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Evaluate(ctx, Genome{3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter: want context.Canceled, got %v", err)
+	}
+	close(release)
+	<-leaderDone
+}
+
+func TestMemoEvaluatorDistinctGenomesMiss(t *testing.T) {
+	var calls int32
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		atomic.AddInt32(&calls, 1)
+		return Fitness{g[0]}, nil
+	})
+	m := NewMemoEvaluator(inner)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := m.Evaluate(ctx, Genome{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := atomic.LoadInt32(&calls); n != 5 {
+		t.Fatalf("inner ran %d times, want 5", n)
+	}
+	st := m.Stats()
+	if st.Hits != 0 || st.Misses != 5 || st.Entries != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func ExampleMemoEvaluator() {
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		return Fitness{g[0] * g[0]}, nil
+	})
+	m := NewMemoEvaluator(inner)
+	ctx := context.Background()
+	m.Evaluate(ctx, Genome{2})
+	m.Evaluate(ctx, Genome{2}) // served from cache
+	st := m.Stats()
+	fmt.Println(st.Hits, st.Misses, st.Entries)
+	// Output: 1 1 1
+}

@@ -18,6 +18,7 @@ var deterministicPkgs = map[string]bool{
 	"descriptor": true,
 	"neighbor":   true,
 	"nn":         true,
+	"blas":       true,
 	"refcheck":   true,
 }
 

@@ -1,0 +1,135 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarForward is the reference: the per-sample loop from nn's
+// Dense.forwardInto, applied row by row.
+func scalarForward(preact, out, x, w, bias []float64, n, in, outDim int, act func(float64) float64) {
+	for r := 0; r < n; r++ {
+		xr := x[r*in : (r+1)*in]
+		for o := 0; o < outDim; o++ {
+			s := bias[o]
+			row := w[o*in : (o+1)*in]
+			for k, xk := range xr {
+				s += row[k] * xk
+			}
+			preact[r*outDim+o] = s
+			out[r*outDim+o] = act(s)
+		}
+	}
+}
+
+// refBackward is the bit-exact scalar reference for GemmNN + AccumGrad:
+// n sequential per-sample Backward calls (outputs outermost, dx zeroed
+// per sample) with weights wm, mirroring nn's Dense.Backward.
+func refBackward(dx, gradW, gradB, g, x, wm []float64, n, in, outDim int) {
+	for r := 0; r < n; r++ {
+		dr := dx[r*in : (r+1)*in]
+		for i := range dr {
+			dr[i] = 0
+		}
+		xr := x[r*in : (r+1)*in]
+		for o := 0; o < outDim; o++ {
+			a := g[r*outDim+o]
+			gradB[o] += a
+			row := wm[o*in : (o+1)*in]
+			grow := gradW[o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				grow[i] += a * xr[i]
+				dr[i] += a * row[i]
+			}
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// shapes covers n = 0, 1, exact blocks, ragged tails, and k/i remainder
+// lanes.
+var shapes = []struct{ n, in, out int }{
+	{0, 3, 2}, {1, 1, 1}, {1, 5, 3}, {2, 4, 4}, {3, 7, 2}, {4, 8, 8},
+	{5, 3, 9}, {7, 13, 5}, {8, 16, 4}, {9, 6, 6}, {16, 1, 10}, {33, 10, 7},
+}
+
+func TestGemmBiasActMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	act := math.Tanh
+	for _, sh := range shapes {
+		x := randSlice(rng, sh.n*sh.in)
+		wm := randSlice(rng, sh.out*sh.in)
+		bias := randSlice(rng, sh.out)
+		gotP := make([]float64, sh.n*sh.out)
+		gotY := make([]float64, sh.n*sh.out)
+		wantP := make([]float64, sh.n*sh.out)
+		wantY := make([]float64, sh.n*sh.out)
+		GemmBiasAct(gotP, gotY, x, wm, bias, sh.n, sh.in, sh.out, act)
+		scalarForward(wantP, wantY, x, wm, bias, sh.n, sh.in, sh.out, act)
+		for i := range wantP {
+			if gotP[i] != wantP[i] || gotY[i] != wantY[i] {
+				t.Fatalf("shape %+v: element %d: preact %v vs %v, out %v vs %v",
+					sh, i, gotP[i], wantP[i], gotY[i], wantY[i])
+			}
+		}
+	}
+}
+
+func TestBackwardKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range shapes {
+		x := randSlice(rng, sh.n*sh.in)
+		wm := randSlice(rng, sh.out*sh.in)
+		g := randSlice(rng, sh.n*sh.out)
+		// Start both gradient accumulators from the same nonzero state so
+		// the test also pins the += accumulation order.
+		seedW := randSlice(rng, sh.out*sh.in)
+		seedB := randSlice(rng, sh.out)
+
+		gotDx := make([]float64, sh.n*sh.in)
+		gotW := append([]float64(nil), seedW...)
+		gotB := append([]float64(nil), seedB...)
+		GemmNN(gotDx, g, wm, sh.n, sh.in, sh.out)
+		AccumGrad(gotW, gotB, g, x, sh.n, sh.in, sh.out)
+
+		wantDx := make([]float64, sh.n*sh.in)
+		wantW := append([]float64(nil), seedW...)
+		wantB := append([]float64(nil), seedB...)
+		refBackward(wantDx, wantW, wantB, g, x, wm, sh.n, sh.in, sh.out)
+
+		for i := range wantDx {
+			if gotDx[i] != wantDx[i] {
+				t.Fatalf("shape %+v: dx[%d] = %v, want %v", sh, i, gotDx[i], wantDx[i])
+			}
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("shape %+v: gradW[%d] = %v, want %v", sh, i, gotW[i], wantW[i])
+			}
+		}
+		for i := range wantB {
+			if gotB[i] != wantB[i] {
+				t.Fatalf("shape %+v: gradB[%d] = %v, want %v", sh, i, gotB[i], wantB[i])
+			}
+		}
+	}
+}
+
+func TestGemmNNOverwritesDx(t *testing.T) {
+	// dx must be fully overwritten, not accumulated into.
+	wm := []float64{1, 2, 3, 4}
+	g := []float64{1, 1}
+	dx := []float64{99, 99}
+	GemmNN(dx, g, wm, 1, 2, 2)
+	if dx[0] != 1+3 || dx[1] != 2+4 {
+		t.Fatalf("dx = %v, want [4 6]", dx)
+	}
+}

@@ -37,11 +37,11 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 	return d
 }
 
-// trace holds per-sample state needed for backprop.  All buffers are
+// Trace holds per-sample state needed for backprop.  All buffers are
 // owned by the trace and reused when the trace is replayed through
-// forwardInto/Backward, so a tape-reusing caller allocates nothing in
+// ForwardInto/Backward, so a trace-reusing caller allocates nothing in
 // steady state.
-type trace struct {
+type Trace struct {
 	input  []float64
 	preact []float64
 	out    []float64
@@ -59,7 +59,7 @@ func ensureLen(buf []float64, n int) []float64 {
 
 // forwardInto computes the layer output into the trace's reusable
 // buffers and returns the output slice (owned by the trace).
-func (d *Dense) forwardInto(tr *trace, x []float64) []float64 {
+func (d *Dense) forwardInto(tr *Trace, x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense input %d, want %d", len(x), d.In))
 	}
@@ -81,17 +81,25 @@ func (d *Dense) forwardInto(tr *trace, x []float64) []float64 {
 
 // Forward computes the layer output for input x, returning the output and
 // a trace for Backward.  The trace keeps Forward re-entrant so a single
-// layer can serve many atoms in one configuration.
-func (d *Dense) Forward(x []float64) (out []float64, tr *trace) {
-	tr = &trace{}
+// layer can serve many atoms in one configuration.  Forward allocates the
+// trace; hot loops should hold one Trace and call ForwardInto instead.
+func (d *Dense) Forward(x []float64) (out []float64, tr *Trace) {
+	tr = &Trace{}
 	return d.forwardInto(tr, x), tr
+}
+
+// ForwardInto is Forward with a caller-owned reusable trace: passing the
+// same Trace back recycles its buffers, so repeated calls allocate
+// nothing in steady state.  The returned output is trace-owned.
+func (d *Dense) ForwardInto(tr *Trace, x []float64) []float64 {
+	return d.forwardInto(tr, x)
 }
 
 // Backward accumulates parameter gradients given the upstream gradient
 // dL/dy and returns dL/dx.  The returned slice is owned by the trace and
 // overwritten by the next Backward/InputGrad replay of the same trace.
 // Call ZeroGrad before a new minibatch.
-func (d *Dense) Backward(tr *trace, dy []float64) (dx []float64) {
+func (d *Dense) Backward(tr *Trace, dy []float64) (dx []float64) {
 	if len(dy) != d.Out {
 		panic(fmt.Sprintf("nn: dense upstream grad %d, want %d", len(dy), d.Out))
 	}
@@ -117,7 +125,7 @@ func (d *Dense) Backward(tr *trace, dy []float64) (dx []float64) {
 // accumulators; used for force evaluation at inference time where only the
 // energy gradient with respect to coordinates is needed.  The returned
 // slice is trace-owned scratch, like Backward's.
-func (d *Dense) InputGrad(tr *trace, dy []float64) (dx []float64) {
+func (d *Dense) InputGrad(tr *Trace, dy []float64) (dx []float64) {
 	tr.dx = ensureLen(tr.dx, d.In)
 	dx = tr.dx
 	for i := range dx {
@@ -215,7 +223,7 @@ func AddGradsAndReset(dst, src *MLP) {
 // across networks of identical layer shapes) via ForwardT; reuse makes
 // the forward/backward pair allocation-free in steady state.
 type Tape struct {
-	traces []*trace
+	traces []*Trace
 }
 
 // Forward runs the network on x and returns the output plus a fresh tape.
@@ -230,9 +238,9 @@ func (m *MLP) Forward(x []float64) ([]float64, *Tape) {
 // tape and overwritten by the next ForwardT call.
 func (m *MLP) ForwardT(tape *Tape, x []float64) []float64 {
 	if len(tape.traces) != len(m.Layers) {
-		tape.traces = make([]*trace, len(m.Layers))
+		tape.traces = make([]*Trace, len(m.Layers))
 		for i := range tape.traces {
-			tape.traces[i] = &trace{}
+			tape.traces[i] = &Trace{}
 		}
 	}
 	cur := x

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — hot-path benchmark runner for the batched-kernel PR.
+#
+# Runs the nn, descriptor, and deepmd benchmarks and writes BENCH_5.json
+# at the repo root: ns/op and allocs/op per benchmark, plus the speedup
+# of each batched fitting-net path over its scalar twin (the kernel PR's
+# acceptance metric, target >= 1.5x).
+#
+# Each benchmark runs BENCHCOUNT times and the fastest rep is recorded,
+# which keeps the speedup ratios stable on noisy shared machines.
+#
+# Usage:
+#   scripts/bench.sh                              # full run
+#   BENCHTIME=1x BENCHCOUNT=1 scripts/bench.sh    # CI smoke: one iteration
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-0.3s}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
+OUT="${OUT:-BENCH_5.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$BENCHCOUNT" \
+    ./internal/nn/... ./internal/descriptor/ ./internal/deepmd/ | tee "$raw"
+
+awk -v benchtime="$BENCHTIME" '
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in ns)) { order[++n] = name }
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) {
+        ns[name] = $3
+        alloc[name] = ($8 == "allocs/op") ? $7 : ""
+    }
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", benchtime
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, ns[name]
+        if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
+        printf "}%s\n", (i < n) ? "," : ""
+    }
+    printf "  },\n  \"speedup_batched_vs_scalar\": {\n"
+    np = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name !~ /Batch\//) continue
+        scalar = name; sub(/Batch\//, "Scalar/", scalar)
+        if (!(scalar in ns) || ns[name] + 0 == 0) continue
+        pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[scalar] / ns[name])
+    }
+    for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
+    printf "  }\n}\n"
+}' "$raw" > "$OUT"
+
+echo "wrote $OUT"
