@@ -14,6 +14,12 @@
 //
 //	hpo [-backend surrogate|real] [-runs 5] [-pop 100] [-gens 6] [-seed 2023]
 //	    [-data data/] [-steps 200] [-workers 6] [-out results.csv]
+//	    [-data-dir dir] [-cache-bytes N] [-prefetch N] [-fast]
+//
+// With -data-dir the real backend streams the train/ and val/ system
+// directories out-of-core through a byte-budgeted LRU frame cache
+// (bit-identical to -data's in-memory loading); -fast switches every
+// training to the cross-frame fused gradient path.
 package main
 
 import (
@@ -22,9 +28,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/dataset/stream"
+	"repro/internal/deepmd"
 	"repro/internal/ea"
 	"repro/internal/hpo"
 	"repro/internal/surrogate"
@@ -39,6 +48,10 @@ func main() {
 	seed := flag.Int64("seed", 2023, "base seed")
 	par := flag.Int("par", 8, "parallel evaluations")
 	dataDir := flag.String("data", "data", "dataset directory (real backend; expects train/ and val/)")
+	streamDir := flag.String("data-dir", "", "stream datasets out-of-core from this directory (real backend; expects train/ and val/; overrides -data)")
+	cacheBytes := flag.Int64("cache-bytes", stream.DefaultCacheBytes, "LRU frame-cache budget per streamed system, in bytes")
+	prefetch := flag.Int("prefetch", 64, "prefetch queue depth for streamed systems (0 = synchronous shard reads)")
+	fast := flag.Bool("fast", false, "cross-frame fused gradient path (deterministic, not bit-identical to the paper reduction order)")
 	steps := flag.Int("steps", 200, "training steps per evaluation (real backend)")
 	workers := flag.Int("workers", 6, "simulated data-parallel workers (real backend)")
 	out := flag.String("out", "", "CSV output path (default stdout)")
@@ -52,13 +65,34 @@ func main() {
 	case "surrogate":
 		evaluator = surrogate.NewEvaluator(surrogate.Config{Seed: *seed})
 	case "real":
-		trainSet, err := dataset.Load(*dataDir + "/train")
-		if err != nil {
-			log.Fatalf("loading %s/train: %v (run mdgen first)", *dataDir, err)
-		}
-		valSet, err := dataset.Load(*dataDir + "/val")
-		if err != nil {
-			log.Fatalf("loading %s/val: %v", *dataDir, err)
+		trainPath, valPath := *dataDir+"/train", *dataDir+"/val"
+		var trainSrc, valSrc deepmd.FrameSource
+		if *streamDir != "" {
+			// Out-of-core: stream shards through the byte-budgeted LRU cache
+			// instead of materializing the systems; training is bit-identical.
+			trainPath, valPath = filepath.Join(*streamDir, "train"), filepath.Join(*streamDir, "val")
+			opts := stream.Options{CacheBytes: *cacheBytes, Prefetch: *prefetch}
+			ts, err := stream.Open(trainPath, opts)
+			if err != nil {
+				log.Fatalf("opening %s: %v (run mdgen first)", trainPath, err)
+			}
+			defer ts.Close()
+			vs, err := stream.Open(valPath, opts)
+			if err != nil {
+				log.Fatalf("opening %s: %v", valPath, err)
+			}
+			defer vs.Close()
+			trainSrc, valSrc = ts, vs
+		} else {
+			trainSet, err := dataset.Load(trainPath)
+			if err != nil {
+				log.Fatalf("loading %s: %v (run mdgen first)", trainPath, err)
+			}
+			valSet, err := dataset.Load(valPath)
+			if err != nil {
+				log.Fatalf("loading %s: %v", valPath, err)
+			}
+			trainSrc, valSrc = trainSet, valSet
 		}
 		workDir, err := os.MkdirTemp("", "hpo-runs-*")
 		if err != nil {
@@ -66,13 +100,14 @@ func main() {
 		}
 		defer os.RemoveAll(workDir)
 		rt := &hpo.RealTrainer{
-			Train: trainSet, Val: valSet,
+			Train: trainSrc, Val: valSrc,
 			Workers: *workers, StepsOverride: *steps, ValFrames: 4,
+			Fast: *fast,
 		}
 		evaluator = &hpo.WorkflowEvaluator{
 			WorkDir: workDir,
 			Steps:   *steps, DispFreq: max(*steps/4, 1), Seed: *seed,
-			TrainDir: *dataDir + "/train", ValDir: *dataDir + "/val",
+			TrainDir: trainPath, ValDir: valPath,
 			Trainer: hpo.TrainerFunc(rt.TrainRun),
 		}
 	default:
@@ -149,4 +184,3 @@ func main() {
 			h.ScaleByWorker, h.DescActiv, h.FittingActiv, onFront)
 	}
 }
-

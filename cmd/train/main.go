@@ -6,8 +6,16 @@
 // Usage:
 //
 //	train -input run/input.json [-workers 6] [-steps 0] [-valframes 8]
+//	      [-data-dir dir] [-cache-bytes N] [-prefetch N] [-fast]
 //
 // -steps, if positive, truncates numb_steps for reduced-scale runs.
+//
+// With -data-dir the train/ and val/ system directories under it are
+// streamed out-of-core through a byte-budgeted LRU frame cache instead
+// of being materialized in memory; training output is bit-identical to
+// the in-memory path.  -fast switches to the cross-frame fused gradient
+// path (deterministic, but not bit-identical to the paper reduction
+// order).
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/dataset/stream"
 	"repro/internal/deepmd"
 	"repro/internal/hpo"
 )
@@ -28,6 +37,10 @@ func main() {
 	workers := flag.Int("workers", 6, "simulated data-parallel workers (paper: 6 GPUs)")
 	steps := flag.Int("steps", 0, "override numb_steps (0 = use input.json)")
 	valFrames := flag.Int("valframes", 8, "validation frames per lcurve evaluation")
+	dataDir := flag.String("data-dir", "", "stream train/ and val/ system dirs under this path out-of-core (instead of loading the input.json systems in memory)")
+	cacheBytes := flag.Int64("cache-bytes", stream.DefaultCacheBytes, "LRU frame-cache budget per streamed system, in bytes")
+	prefetch := flag.Int("prefetch", 64, "prefetch queue depth for streamed systems (0 = synchronous shard reads)")
+	fast := flag.Bool("fast", false, "cross-frame fused gradient path (deterministic, not bit-identical to the paper reduction order)")
 	flag.Parse()
 
 	in, err := deepmd.ParseInputFile(*input)
@@ -37,27 +50,55 @@ func main() {
 	if err := in.Validate(); err != nil {
 		log.Fatalf("invalid input.json: %v", err)
 	}
-	if len(in.Training.Systems) == 0 || len(in.Training.ValidationData.Systems) == 0 {
-		log.Fatal("input.json must reference training and validation systems")
-	}
 	runDir := filepath.Dir(*input)
-	trainSet, err := dataset.Load(resolve(runDir, in.Training.Systems[0]))
-	if err != nil {
-		log.Fatalf("loading training data: %v", err)
+
+	var trainSrc, valSrc deepmd.FrameSource
+	var trainStore *stream.Store
+	if *dataDir != "" {
+		opts := stream.Options{CacheBytes: *cacheBytes, Prefetch: *prefetch}
+		trainStore, err = stream.Open(filepath.Join(*dataDir, "train"), opts)
+		if err != nil {
+			log.Fatalf("opening streamed training data: %v", err)
+		}
+		defer trainStore.Close()
+		valStore, err := stream.Open(filepath.Join(*dataDir, "val"), opts)
+		if err != nil {
+			log.Fatalf("opening streamed validation data: %v", err)
+		}
+		defer valStore.Close()
+		fmt.Printf("streaming %d training and %d validation frames (%d atoms); cache budget %d B, dataset %d B\n",
+			trainStore.Len(), valStore.Len(), len(trainStore.AtomTypes()),
+			*cacheBytes, trainStore.FrameBytes())
+		trainSrc, valSrc = trainStore, valStore
+	} else {
+		if len(in.Training.Systems) == 0 || len(in.Training.ValidationData.Systems) == 0 {
+			log.Fatal("input.json must reference training and validation systems")
+		}
+		trainSet, err := dataset.Load(resolve(runDir, in.Training.Systems[0]))
+		if err != nil {
+			log.Fatalf("loading training data: %v", err)
+		}
+		valSet, err := dataset.Load(resolve(runDir, in.Training.ValidationData.Systems[0]))
+		if err != nil {
+			log.Fatalf("loading validation data: %v", err)
+		}
+		fmt.Printf("loaded %d training and %d validation frames (%d atoms)\n",
+			trainSet.Len(), valSet.Len(), trainSet.NAtoms())
+		trainSrc, valSrc = trainSet, valSet
 	}
-	valSet, err := dataset.Load(resolve(runDir, in.Training.ValidationData.Systems[0]))
-	if err != nil {
-		log.Fatalf("loading validation data: %v", err)
-	}
-	fmt.Printf("loaded %d training and %d validation frames (%d atoms)\n",
-		trainSet.Len(), valSet.Len(), trainSet.NAtoms())
 
 	rt := &hpo.RealTrainer{
-		Train: trainSet, Val: valSet,
+		Train: trainSrc, Val: valSrc,
 		Workers: *workers, StepsOverride: *steps, ValFrames: *valFrames,
+		Fast: *fast,
 	}
 	if err := rt.TrainRun(context.Background(), *input, runDir); err != nil {
 		log.Fatalf("training: %v", err)
+	}
+	if trainStore != nil {
+		st := trainStore.Stats()
+		fmt.Printf("stream: %d hits, %d misses, %d evictions, %d prefetched (%d B cached)\n",
+			st.Hits, st.Misses, st.Evictions, st.Prefetched, st.CachedBytes)
 	}
 	rmseE, rmseF, err := deepmd.FinalLosses(filepath.Join(runDir, "lcurve.out"))
 	if err != nil {

@@ -41,6 +41,28 @@ func (d *Dataset) NAtoms() int { return len(d.Types) }
 // Len returns the number of frames.
 func (d *Dataset) Len() int { return len(d.Frames) }
 
+// Frame returns frame i.  Together with AtomTypes and MeanEnergy this
+// makes *Dataset the in-memory implementation of the deepmd training
+// FrameSource; the error is always nil here and exists for out-of-core
+// sources whose reads can fail.
+func (d *Dataset) Frame(i int) (*Frame, error) { return &d.Frames[i], nil }
+
+// AtomTypes returns the per-atom species indices (method form of the
+// Types field, for the FrameSource contract).
+func (d *Dataset) AtomTypes() []int { return d.Types }
+
+// MeanEnergy returns the mean frame energy, accumulated in frame order.
+func (d *Dataset) MeanEnergy() float64 {
+	if len(d.Frames) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, f := range d.Frames {
+		mean += f.Energy
+	}
+	return mean / float64(len(d.Frames))
+}
+
 // FrameFromSystem snapshots an MD system (forces and energy must be
 // current) into a Frame.
 func FrameFromSystem(sys *md.System) Frame {
@@ -210,6 +232,11 @@ func Load(dir string) (*Dataset, error) {
 	}
 	return d, nil
 }
+
+// ReadTypes reads a type.raw file — the per-atom species indices of a
+// system directory.  Shared by Load and the out-of-core stream reader so
+// both agree on what a valid typing is.
+func ReadTypes(path string) ([]int, error) { return loadTypes(path) }
 
 func loadTypes(path string) ([]int, error) {
 	f, err := os.Open(path)

@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/npy"
+)
+
+// shard is one open set.NNN directory: positioned-read handles plus the
+// parsed npy headers for the per-frame arrays, and the set's eagerly
+// loaded energies (one float per frame — cheap, and needed whole for the
+// training-set mean-energy bias).
+type shard struct {
+	dir    string
+	frames int
+	width  int // coordinates per frame (3N)
+
+	coordF, forceF, boxF *os.File
+	coordH, forceH, boxH *npy.Header
+	energies             []float64
+}
+
+func (sh *shard) close() error {
+	var firstErr error
+	for _, f := range []*os.File{sh.coordF, sh.forceF, sh.boxF} {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// openShard opens one set directory and validates its shape contract:
+// coord and force are (nframes, 3N) with matching widths, energy holds
+// nframes values, box is (nframes, 9).  This mirrors (and tightens) the
+// checks dataset.Load applies to fully materialized sets.
+func openShard(dir string, width int) (*shard, error) {
+	sh := &shard{dir: dir}
+	var err error
+	if sh.coordF, sh.coordH, err = openArray(filepath.Join(dir, "coord.npy")); err != nil {
+		return nil, sh.closeOnErr(err)
+	}
+	if sh.forceF, sh.forceH, err = openArray(filepath.Join(dir, "force.npy")); err != nil {
+		return nil, sh.closeOnErr(err)
+	}
+	if sh.boxF, sh.boxH, err = openArray(filepath.Join(dir, "box.npy")); err != nil {
+		return nil, sh.closeOnErr(err)
+	}
+	energy, err := npy.ReadFile(filepath.Join(dir, "energy.npy"))
+	if err != nil {
+		return nil, sh.closeOnErr(err)
+	}
+
+	ch, fh, bh := sh.coordH, sh.forceH, sh.boxH
+	if len(ch.Shape) != 2 || len(fh.Shape) != 2 {
+		return nil, sh.closeOnErr(fmt.Errorf("stream: coord/force must be 2-D in %s", dir))
+	}
+	sh.frames, sh.width = ch.Shape[0], ch.Shape[1]
+	if width > 0 && sh.width != width {
+		return nil, sh.closeOnErr(fmt.Errorf("stream: %s has frame width %d, want %d", dir, sh.width, width))
+	}
+	if fh.Shape[0] != sh.frames || fh.Shape[1] != sh.width {
+		return nil, sh.closeOnErr(fmt.Errorf("stream: force shape %v inconsistent with coord %v in %s", fh.Shape, ch.Shape, dir))
+	}
+	if len(energy.Shape) < 1 || energy.Shape[0] != sh.frames || len(energy.Data) < sh.frames {
+		return nil, sh.closeOnErr(fmt.Errorf("stream: energy shape %v inconsistent with %d frames in %s", energy.Shape, sh.frames, dir))
+	}
+	if len(bh.Shape) != 2 || bh.Shape[0] != sh.frames || bh.Shape[1] != 9 {
+		return nil, sh.closeOnErr(fmt.Errorf("stream: box shape %v, want (%d, 9) in %s", bh.Shape, sh.frames, dir))
+	}
+	sh.energies = energy.Data[:sh.frames]
+	return sh, nil
+}
+
+// closeOnErr closes whatever handles are open and returns the original
+// error — the open/validation failure is the actionable one.
+func (sh *shard) closeOnErr(err error) error {
+	if cerr := sh.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openArray opens an .npy file for positioned reads and parses its
+// header.  The returned file's read offset sits past the header, which
+// is irrelevant: all payload access goes through ReadAt.
+func openArray(path string) (*os.File, *npy.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := npy.ReadHeader(f)
+	if err != nil {
+		//lint:ignore errdiscard error-path close: the header error being returned is the actionable one
+		f.Close()
+		return nil, nil, fmt.Errorf("stream: %s: %w", path, err)
+	}
+	return f, h, nil
+}
+
+// discoverSets lists the set.NNN subdirectories of a system directory in
+// the sorted order dataset.Load visits them, so global frame indices
+// agree between the streamed and materialized views of the same data.
+func discoverSets(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var sets []string
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "set.") {
+			continue
+		}
+		sets = append(sets, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(sets)
+	return sets, nil
+}

@@ -1,0 +1,110 @@
+package stream
+
+import "repro/internal/dataset"
+
+// lruEntry is one resident frame in the cache's intrusive doubly linked
+// recency list.
+type lruEntry struct {
+	key        int
+	fr         *dataset.Frame
+	bytes      int64
+	prev, next *lruEntry
+}
+
+// lruCache is a byte-budgeted least-recently-used frame cache.  It is
+// not goroutine-safe; the Store serializes access under its mutex.
+type lruCache struct {
+	budget  int64
+	bytes   int64
+	entries map[int]*lruEntry
+	head    *lruEntry // most recently used
+	tail    *lruEntry // least recently used
+}
+
+func (c *lruCache) init(budget int64) {
+	c.budget = budget
+	c.entries = make(map[int]*lruEntry)
+}
+
+func (c *lruCache) len() int { return len(c.entries) }
+
+// get returns the cached frame and refreshes its recency.
+func (c *lruCache) get(key int) (*dataset.Frame, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveToFront(e)
+	return e.fr, true
+}
+
+// add inserts (or refreshes) a frame and evicts from the cold end until
+// the budget holds again, always keeping at least the entry just added —
+// a frame larger than the whole budget must still be servable.  It
+// returns how many entries were evicted.
+func (c *lruCache) add(key int, fr *dataset.Frame, bytes int64) (evicted int) {
+	if e, ok := c.entries[key]; ok {
+		c.bytes += bytes - e.bytes
+		e.fr, e.bytes = fr, bytes
+		c.moveToFront(e)
+	} else {
+		e = &lruEntry{key: key, fr: fr, bytes: bytes}
+		c.entries[key] = e
+		c.pushFront(e)
+		c.bytes += bytes
+	}
+	for c.bytes > c.budget && len(c.entries) > 1 {
+		c.removeEntry(c.tail)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lruCache) removeEntry(e *lruEntry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// keysMRU returns the resident keys from most to least recently used
+// (test hook for eviction-order properties).
+func (c *lruCache) keysMRU() []int {
+	keys := make([]int, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		keys = append(keys, e.key)
+	}
+	return keys
+}

@@ -61,6 +61,49 @@ func BenchmarkTrainStepByWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStepBatch measures one optimizer step of the whole-frame
+// batched gradient path — the paper (bit-exact reduction order) and fast
+// (cross-frame fused) modes at growing worker-batch sizes.  Per-frame
+// cost is ns/op divided by batch; scripts/bench.sh computes the speedup
+// against the previous PR's TrainStepByWorkers/workers=1 baseline.
+func BenchmarkTrainStepBatch(b *testing.B) {
+	d := benchData(b, 8)
+	train, val := d.Split(0.25)
+	for _, tc := range []struct {
+		name  string
+		batch int
+		fast  bool
+	}{
+		{"mode=paper/batch=1", 1, false},
+		{"mode=fast/batch=1", 1, true},
+		{"mode=fast/batch=2", 2, true},
+		{"mode=fast/batch=4", 4, true},
+		{"mode=fast/batch=6", 6, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			m, err := NewModel(rng, tinyModelConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			// StartLR is kept small enough that the run cannot diverge at
+			// any b.N: an early ErrDiverged abort would leave the remaining
+			// claimed iterations free and understate ns/op.
+			cfg := TrainConfig{
+				Steps: b.N, BatchSize: tc.batch, StartLR: 1e-4, StopLR: 1e-6,
+				ScaleByWorker: "sqrt", Workers: 1, Fast: tc.fast,
+				DispFreq: b.N + 1, // no validation inside the loop
+				Seed:     4,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := Train(context.Background(), m, train, val, cfg, nil); err != nil && err != ErrDiverged {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func BenchmarkEvalErrors(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	m, _ := NewModel(rng, tinyModelConfig())

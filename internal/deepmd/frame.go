@@ -1,0 +1,487 @@
+package deepmd
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/descriptor"
+	"repro/internal/neighbor"
+	"repro/internal/nn"
+)
+
+// batchScratch is the reusable workspace of the whole-frame training
+// path: per-slot descriptor environments (slot = frame·N + atom),
+// per-species fitting batches spanning a frame (or, in fast mode, every
+// frame of a worker batch), and the per-frame force-loss state.  One
+// instance lives for a whole training run, so the hot loop allocates
+// nothing in steady state.
+type batchScratch struct {
+	nls  []neighbor.List   // per frame
+	envs []*descriptor.Env // per slot
+	// energies[slot] is the atomic energy from the base fitting forward.
+	energies []float64
+	// dEdD[slot] views the fitting net's input gradient for the slot's
+	// row; valid until the next batched fitting pass reuses the buffers.
+	dEdD [][]float64
+	// dc[slot] is the slot's private coordinate-gradient buffer (paper
+	// mode).  Invariant outside a backward/fold pair: all zeros.
+	dc [][]float64
+
+	slots  []int // active-slot worklist for the forward pass
+	rows   [][]int
+	ftIn   [][]float64
+	ftDy   [][]float64
+	ftTape []*nn.BatchTape
+
+	// eb and envList drive the fused embedding path (fast mode): one
+	// embedding forward/backward per network spanning every active slot.
+	eb      descriptor.EnvBatch
+	envList []*descriptor.Env
+
+	// sdesc shards embedding gradients per atom in paper mode so the
+	// per-atom merge keeps the scalar path's reduction order.
+	sdesc *descriptor.Descriptor
+
+	// Per-frame force-loss state.
+	ePred, dE, vnorm, scaleF []float64
+	forces, v, pos           [][]float64
+	active                   []bool
+
+	// vframes doubles the batch for the fused ± sweep (fast mode): frame
+	// f appears twice, displaced +h·v̂ as virtual frame f and −h·v̂ as B+f.
+	vframes []*dataset.Frame
+}
+
+// ensure sizes the workspace for B frames of len(types) atoms.
+func (ws *batchScratch) ensure(m *Model, types []int, B int, fast bool) {
+	n := len(types)
+	n3 := 3 * n
+	slots := B * n
+	if len(ws.nls) < B {
+		ws.nls = append(ws.nls, make([]neighbor.List, B-len(ws.nls))...)
+	}
+	if len(ws.envs) < slots {
+		ws.envs = append(ws.envs, make([]*descriptor.Env, slots-len(ws.envs))...)
+	}
+	ws.energies = ensureLen(ws.energies, slots)
+	if len(ws.dEdD) < slots {
+		ws.dEdD = append(ws.dEdD, make([][]float64, slots-len(ws.dEdD))...)
+	}
+	if !fast {
+		if len(ws.dc) < slots {
+			ws.dc = append(ws.dc, make([][]float64, slots-len(ws.dc))...)
+		}
+		for k := 0; k < slots; k++ {
+			if len(ws.dc[k]) != n3 {
+				ws.dc[k] = make([]float64, n3)
+			}
+		}
+		if ws.sdesc == nil {
+			ws.sdesc = m.Desc.ShadowClone()
+		}
+	}
+	nS := m.Cfg.NumSpecies
+	if len(ws.rows) < nS {
+		ws.rows = append(ws.rows, make([][]int, nS-len(ws.rows))...)
+		ws.ftIn = append(ws.ftIn, make([][]float64, nS-len(ws.ftIn))...)
+		ws.ftDy = append(ws.ftDy, make([][]float64, nS-len(ws.ftDy))...)
+		ws.ftTape = append(ws.ftTape, make([]*nn.BatchTape, nS-len(ws.ftTape))...)
+	}
+	ws.ePred = ensureLen(ws.ePred, B)
+	ws.dE = ensureLen(ws.dE, B)
+	ws.vnorm = ensureLen(ws.vnorm, B)
+	ws.scaleF = ensureLen(ws.scaleF, B)
+	for _, buf := range []*[][]float64{&ws.forces, &ws.v, &ws.pos} {
+		if len(*buf) < B {
+			*buf = append(*buf, make([][]float64, B-len(*buf))...)
+		}
+		for f := 0; f < B; f++ {
+			if len((*buf)[f]) != n3 {
+				(*buf)[f] = make([]float64, n3)
+			}
+		}
+	}
+	if len(ws.active) < B {
+		ws.active = append(ws.active, make([]bool, B-len(ws.active))...)
+	}
+}
+
+// accumulateBatchGrad adds the loss gradient of a batch of frames to the
+// model's accumulators — the whole-frame replacement for the per-atom
+// scalar path.
+//
+// Energy term: ∂/∂θ [p_e (ΔE/N)²] = (2·p_e·ΔE/N²)·∂E/∂θ.
+//
+// Force term: with F = −∇ₓE and v = F_pred − F_ref,
+// ∂/∂θ [p_f/(3N)·‖v‖²] = −(2·p_f/3N)·vᵀ ∂(∇ₓE)/∂θ, and the contraction
+// vᵀ∂(∇ₓE)/∂θ is evaluated exactly to O(h²) as the directional central
+// difference [∂E/∂θ(x+h·v̂) − ∂E/∂θ(x−h·v̂)]·|v|/(2h) — second-order
+// backprop through the descriptor without a second autodiff pass.
+//
+// The pass structure is three forward sweeps per frame instead of the
+// scalar path's four: the base descriptor environments and fitting tapes
+// serve both the force evaluation (InputGradBatch + geometry backward)
+// and the base parameter pass (BackwardBatch + BackwardParams), because
+// a deterministic recompute at the same coordinates would reproduce them
+// bit for bit anyway.
+//
+// With fast=false the batch must hold exactly one frame, and every
+// parameter accumulator receives its contributions in the scalar path's
+// order: fitting-net gradients batch over a frame's atoms in ascending
+// atom order (each batch row is bit-identical to a scalar backward, and
+// blas.AccumGrad reduces rows in ascending order), and embedding
+// gradients shard through sdesc and merge per atom ascending.  The result
+// is bit-identical to the historical per-atom implementation.
+//
+// With fast=true the per-species fitting batches span every frame of the
+// batch, embedding gradients accumulate directly into the model without
+// per-atom sharding, and coordinate gradients skip the private-buffer
+// fold.  Results stay deterministic for any thread count but follow a
+// relaxed reduction order that is not bit-identical to the paper path.
+//
+// One neighbor list per frame serves all three sweeps: the ±h·v̂
+// displacements move every atom by at most h, so a skin of a few h keeps
+// the candidate lists valid at the perturbed coordinates.
+func (m *Model) accumulateBatchGrad(ws *batchScratch, types []int, frames []*dataset.Frame, pe, pf, h float64, fast bool) error {
+	B := len(frames)
+	n := len(types)
+	if fast {
+		// Size for the fused ± mega-sweep's 2B virtual frames up front:
+		// growing mid-pass would discard the per-frame loss state
+		// (ensureLen does not preserve contents across reallocation).
+		ws.ensure(m, types, 2*B, fast)
+	} else {
+		ws.ensure(m, types, B, fast)
+	}
+
+	for f, fr := range frames {
+		ws.nls[f].Build(fr.Coord, fr.Box, m.Cfg.Descriptor.RCut, 4*h)
+		ws.active[f] = true
+	}
+
+	// Base sweep: descriptor environments for every slot, then one
+	// fitting-net forward batch per species.
+	m.forwardSlots(ws, types, frames, false, fast)
+	ws.buildRows(types, B)
+	m.fitForward(ws, true)
+
+	for f, fr := range frames {
+		e := 0.0
+		for i := 0; i < n; i++ {
+			e += ws.energies[f*n+i]
+		}
+		if !finite(e) {
+			return ErrDiverged
+		}
+		ws.ePred[f] = e
+		ws.dE[f] = e - fr.Energy
+	}
+
+	// Forces: batched fitting input gradients, then the geometry backward
+	// per slot.  Paper mode accumulates into per-slot private buffers and
+	// folds them per atom (center first, then neighbors ascending),
+	// reproducing the scalar path's reduction order exactly.
+	m.fitInputGrad(ws)
+	for f := range frames {
+		forces := ws.forces[f]
+		for k := range forces {
+			forces[k] = 0
+		}
+	}
+	if fast {
+		m.Desc.BackwardEnvBatchGeometry(&ws.eb, ws.envList,
+			func(vi int) []float64 { return ws.dEdD[ws.slots[vi]] },
+			func(vi int) []float64 { return ws.forces[ws.slots[vi]/n] })
+	} else {
+		for f := range frames {
+			forces := ws.forces[f]
+			for i := 0; i < n; i++ {
+				slot := f*n + i
+				dc := ws.dc[slot]
+				m.Desc.Backward(ws.envs[slot], ws.dEdD[slot], dc, false)
+				foldDcoord(ws.envs[slot], dc, forces)
+			}
+		}
+	}
+	for f, fr := range frames {
+		// forces currently holds +∂E/∂x; F_pred = −∂E/∂x, so the residual
+		// v = F_pred − F_ref reads −forces − F_ref (negation is exact).
+		forces := ws.forces[f]
+		vn := 0.0
+		v := ws.v[f]
+		for k := range v {
+			v[k] = -forces[k] - fr.Force[k]
+			vn += v[k] * v[k]
+		}
+		ws.vnorm[f] = math.Sqrt(vn)
+	}
+
+	// Base parameter pass, reusing the environments and tapes of the base
+	// sweep: dy row = 2·p_e·ΔE/N² of the row's frame.
+	m.fitBackward(ws, n, func(f int) float64 { return 2 * pe * ws.dE[f] / float64(n*n) })
+	m.embedBackward(ws, B, n, fast)
+
+	// ±h·v̂ sweeps over frames with a nonzero force residual.  A frame
+	// whose forces are already exact contributes no force gradient — the
+	// scalar path's early return.
+	any := false
+	for f := range frames {
+		if ws.vnorm[f] < 1e-14 {
+			ws.active[f] = false
+			continue
+		}
+		any = true
+		ws.scaleF[f] = -(2 * pf / float64(3*n)) * ws.vnorm[f] / (2 * h)
+	}
+	if !any {
+		return nil
+	}
+	if fast {
+		// Fused ± mega-sweep: one virtual batch of 2B frames — frame f
+		// displaced +h·v̂ as virtual frame f and −h·v̂ as B+f — so the
+		// embedding and fitting networks see one fused pass with twice
+		// the rows instead of two half-size passes.
+		ws.vframes = append(ws.vframes[:0], frames...)
+		ws.vframes = append(ws.vframes, frames...)
+		for f, fr := range frames {
+			ws.active[B+f] = ws.active[f]
+			ws.nls[B+f] = ws.nls[f]
+			if !ws.active[f] {
+				continue
+			}
+			pos, neg, v, vn := ws.pos[f], ws.pos[B+f], ws.v[f], ws.vnorm[f]
+			for k := range pos {
+				d := h * v[k] / vn
+				pos[k] = fr.Coord[k] + d
+				neg[k] = fr.Coord[k] - d
+			}
+		}
+		m.forwardSlots(ws, types, ws.vframes, true, true)
+		ws.buildRows(types, 2*B)
+		m.fitForward(ws, false)
+		m.fitBackward(ws, n, func(f int) float64 {
+			if f < B {
+				return ws.scaleF[f]
+			}
+			return -ws.scaleF[f-B]
+		})
+		m.embedBackward(ws, 2*B, n, true)
+		return nil
+	}
+	for _, sign := range [2]float64{1, -1} {
+		for f, fr := range frames {
+			if !ws.active[f] {
+				continue
+			}
+			pos, v, vn := ws.pos[f], ws.v[f], ws.vnorm[f]
+			sh := sign * h
+			for k := range pos {
+				pos[k] = fr.Coord[k] + sh*v[k]/vn
+			}
+		}
+		m.forwardSlots(ws, types, frames, true, fast)
+		ws.buildRows(types, B)
+		m.fitForward(ws, false)
+		m.fitBackward(ws, n, func(f int) float64 { return sign * ws.scaleF[f] })
+		m.embedBackward(ws, B, n, fast)
+	}
+	return nil
+}
+
+// forwardSlots evaluates the descriptor environment of every active slot,
+// at the frames' own coordinates or (displaced=true) at ws.pos.  Slots
+// are independent, so the worker pool affects wall time only.  In fast
+// mode the per-slot work is only the neighbourhood scan; the embedding
+// networks then run once per net over every slot (fused), instead of
+// once per slot per net.
+func (m *Model) forwardSlots(ws *batchScratch, types []int, frames []*dataset.Frame, displaced, fast bool) {
+	n := len(types)
+	ws.slots = ws.slots[:0]
+	for f := range frames {
+		if !ws.active[f] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			ws.slots = append(ws.slots, f*n+i)
+		}
+	}
+	coordOf := func(f int) []float64 {
+		if displaced {
+			return ws.pos[f]
+		}
+		return frames[f].Coord
+	}
+	fw := m.Desc.ForwardEnv
+	if fast {
+		fw = m.Desc.ScanEnv
+	}
+	threads := m.threads
+	if threads > len(ws.slots) {
+		threads = len(ws.slots)
+	}
+	if threads <= 1 {
+		for _, slot := range ws.slots {
+			f, i := slot/n, slot%n
+			ws.envs[slot] = fw(ws.envs[slot], coordOf(f), types, frames[f].Box, i, ws.nls[f].Candidates(i))
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(atomic.AddInt64(&next, 1)) - 1
+					if k >= len(ws.slots) {
+						return
+					}
+					slot := ws.slots[k]
+					f, i := slot/n, slot%n
+					ws.envs[slot] = fw(ws.envs[slot], coordOf(f), types, frames[f].Box, i, ws.nls[f].Candidates(i))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if fast {
+		ws.envList = ws.envList[:0]
+		for _, slot := range ws.slots {
+			ws.envList = append(ws.envList, ws.envs[slot])
+		}
+		m.Desc.ForwardEnvBatch(&ws.eb, ws.envList)
+	}
+}
+
+// buildRows groups the active slots by species in slot (frame-major,
+// atom-ascending) order — the row layout of every batched fitting pass.
+func (ws *batchScratch) buildRows(types []int, B int) {
+	n := len(types)
+	for t := range ws.rows {
+		ws.rows[t] = ws.rows[t][:0]
+	}
+	for f := 0; f < B; f++ {
+		if !ws.active[f] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			t := types[i]
+			ws.rows[t] = append(ws.rows[t], f*n+i)
+		}
+	}
+}
+
+// fitForward runs one batched fitting forward per species over the
+// current rows, recording tapes for the backward passes.  withEnergy
+// additionally writes biased atomic energies into ws.energies.
+func (m *Model) fitForward(ws *batchScratch, withEnergy bool) {
+	outDim := m.Cfg.Descriptor.OutDim()
+	for t, rows := range ws.rows {
+		if len(rows) == 0 {
+			continue
+		}
+		if ws.ftTape[t] == nil {
+			ws.ftTape[t] = &nn.BatchTape{}
+		}
+		ws.ftIn[t] = ensureLen(ws.ftIn[t], len(rows)*outDim)
+		in := ws.ftIn[t]
+		for r, slot := range rows {
+			copy(in[r*outDim:(r+1)*outDim], ws.envs[slot].Out())
+		}
+		out := m.Fit[t].ForwardBatch(ws.ftTape[t], in, len(rows))
+		if withEnergy {
+			for r, slot := range rows {
+				ws.energies[slot] = out[r] + m.Bias[t]
+			}
+		}
+	}
+}
+
+// fitInputGrad computes dE/dD for every row (dy = 1) without touching
+// parameter accumulators, leaving per-slot views in ws.dEdD.  The views
+// alias tape buffers: consume them before the next batched fitting pass.
+func (m *Model) fitInputGrad(ws *batchScratch) {
+	outDim := m.Cfg.Descriptor.OutDim()
+	for t, rows := range ws.rows {
+		if len(rows) == 0 {
+			continue
+		}
+		ws.ftDy[t] = ensureLen(ws.ftDy[t], len(rows))
+		dy := ws.ftDy[t]
+		for r := range dy {
+			dy[r] = 1
+		}
+		dx := m.Fit[t].InputGradBatch(ws.ftTape[t], dy, len(rows))
+		for r, slot := range rows {
+			ws.dEdD[slot] = dx[r*outDim : (r+1)*outDim]
+		}
+	}
+}
+
+// fitBackward runs one batched fitting backward per species with
+// dy row = scaleOf(row's frame), accumulating parameter gradients
+// directly into m.Fit and leaving scaled dL/dD views in ws.dEdD.  Rows
+// ascend in atom order, so the accumulation is bit-identical to the
+// scalar path's per-atom shard merges.
+func (m *Model) fitBackward(ws *batchScratch, n int, scaleOf func(f int) float64) {
+	outDim := m.Cfg.Descriptor.OutDim()
+	for t, rows := range ws.rows {
+		if len(rows) == 0 {
+			continue
+		}
+		ws.ftDy[t] = ensureLen(ws.ftDy[t], len(rows))
+		dy := ws.ftDy[t]
+		for r, slot := range rows {
+			dy[r] = scaleOf(slot / n)
+		}
+		dx := m.Fit[t].BackwardBatch(ws.ftTape[t], dy, len(rows))
+		for r, slot := range rows {
+			ws.dEdD[slot] = dx[r*outDim : (r+1)*outDim]
+		}
+	}
+}
+
+// embedBackward propagates the slots' dL/dD into the embedding-network
+// parameter accumulators.  Paper mode shards each atom through ws.sdesc
+// and merges per atom in ascending order (the scalar path's reduction
+// order); fast mode runs one fused backward per embedding network
+// spanning every active slot.
+func (m *Model) embedBackward(ws *batchScratch, B, n int, fast bool) {
+	if fast {
+		m.Desc.BackwardEnvBatchParams(&ws.eb, ws.envList,
+			func(vi int) []float64 { return ws.dEdD[ws.slots[vi]] })
+		return
+	}
+	for f := 0; f < B; f++ {
+		if !ws.active[f] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			slot := f*n + i
+			env := ws.envs[slot]
+			ws.sdesc.BackwardParams(env, ws.dEdD[slot])
+			for _, e := range env.EmbedNets() {
+				nn.AddGradsAndReset(m.Desc.Embed[e], ws.sdesc.Embed[e])
+			}
+		}
+	}
+}
+
+// foldDcoord folds a slot's private coordinate gradients into dst and
+// restores the buffer's all-zeros invariant, in the merge order of the
+// scalar path: center coordinates first, then neighbors ascending.
+func foldDcoord(env *descriptor.Env, dc, dst []float64) {
+	c := env.Center()
+	for x := 0; x < 3; x++ {
+		dst[3*c+x] += dc[3*c+x]
+		dc[3*c+x] = 0
+	}
+	for _, j := range env.NeighborAtoms() {
+		for x := 0; x < 3; x++ {
+			dst[3*j+x] += dc[3*j+x]
+			dc[3*j+x] = 0
+		}
+	}
+}

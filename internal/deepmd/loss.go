@@ -54,25 +54,39 @@ func FrameErrors(f *dataset.Frame, ePred float64, fPred []float64) (ePerAtom, fR
 // rmse_f the RMS over all force components — the two quantities the EA
 // minimizes (§2.2.4).  frames limits how many frames are evaluated (0 =
 // all).
+func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64) {
+	// The in-memory source never fails to produce a frame.
+	rmseE, rmseF, _ = EvalErrorsSource(m, d, frames)
+	return rmseE, rmseF
+}
+
+// EvalErrorsSource is EvalErrors over any FrameSource; the error reports
+// a failed frame read (out-of-core sources only).
 //
 // Frames are evaluated on a worker pool bounded by m.Threads(); the
 // per-frame error terms are reduced in frame order afterwards, so the
 // result is bit-identical for every worker count.
-func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64) {
-	if frames <= 0 || frames > d.Len() {
-		frames = d.Len()
+func EvalErrorsSource(m *Model, src FrameSource, frames int) (rmseE, rmseF float64, err error) {
+	if frames <= 0 || frames > src.Len() {
+		frames = src.Len()
 	}
 	if frames == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
+	types := src.AtomTypes()
 	type frameErr struct {
 		se, sf float64
 		nf     int
+		err    error
 	}
 	res := make([]frameErr, frames)
 	evalOne := func(s *evalScratch, i int) {
-		fr := &d.Frames[i]
-		e, f := m.evalFrame(s, fr.Coord, d.Types, fr.Box)
+		fr, err := src.Frame(i)
+		if err != nil {
+			res[i] = frameErr{err: err}
+			return
+		}
+		e, f := m.evalFrame(s, fr.Coord, types, fr.Box)
 		de, _ := FrameErrors(fr, e, f)
 		var sf float64
 		for k := range f {
@@ -87,7 +101,7 @@ func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64)
 		threads = frames
 	}
 	if threads <= 1 {
-		s := m.getScratch(3 * d.NAtoms())
+		s := m.getScratch(3 * len(types))
 		for i := 0; i < frames; i++ {
 			evalOne(s, i)
 		}
@@ -99,7 +113,7 @@ func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				s := m.getScratch(3 * d.NAtoms())
+				s := m.getScratch(3 * len(types))
 				defer m.putScratch(s)
 				for {
 					i := int(atomic.AddInt64(&next, 1)) - 1
@@ -116,9 +130,13 @@ func EvalErrors(m *Model, d *dataset.Dataset, frames int) (rmseE, rmseF float64)
 	var se, sf float64
 	var nf int
 	for i := range res {
+		if res[i].err != nil {
+			// First failed frame wins, deterministically.
+			return 0, 0, res[i].err
+		}
 		se += res[i].se
 		sf += res[i].sf
 		nf += res[i].nf
 	}
-	return math.Sqrt(se / float64(frames)), math.Sqrt(sf / float64(nf))
+	return math.Sqrt(se / float64(frames)), math.Sqrt(sf / float64(nf)), nil
 }

@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ddp"
-	"repro/internal/neighbor"
 	"repro/internal/nn"
 )
 
@@ -47,6 +46,14 @@ type TrainConfig struct {
 	Threads int
 	// Seed drives batch sampling.
 	Seed int64
+	// Fast selects the cross-frame fused gradient path: per-species
+	// fitting-net batches span every frame of a worker batch and
+	// embedding gradients accumulate directly instead of through
+	// per-atom shards.  Training stays deterministic for any thread
+	// count but follows a relaxed floating-point reduction order, so the
+	// learning curve is NOT bit-identical to the default (paper) path;
+	// EXPERIMENTS.md quantifies the divergence.
+	Fast bool
 }
 
 // Validate checks the configuration.
@@ -90,11 +97,23 @@ type TrainResult struct {
 // the hyperparameter combinations the paper observed crashing training.
 var ErrDiverged = errors.New("deepmd: training diverged (non-finite loss)")
 
-// Train fits the model to the training set, evaluating on the validation
-// set every DispFreq steps and appending lcurve.out lines to lcurve (if
-// non-nil).  The context cancels long runs, standing in for the paper's
-// two-hour subprocess limit.
+// Train fits the model to the in-memory training set; see TrainSource.
 func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg TrainConfig, lcurve io.Writer) (*TrainResult, error) {
+	return TrainSource(ctx, m, train, val, cfg, lcurve)
+}
+
+// TrainSource fits the model to the training source, evaluating on the
+// validation source every DispFreq steps and appending lcurve.out lines
+// to lcurve (if non-nil).  The context cancels long runs, standing in
+// for the paper's two-hour subprocess limit.
+//
+// Sources are sampled by index only, so an out-of-core stream.Store and
+// an in-memory dataset over the same system directory produce
+// bit-identical training.  If the training source implements Prefetcher,
+// each step's sample indices are announced one step ahead — the random
+// sequence is unchanged (indices are drawn in the same order, just one
+// step early) — letting the source overlap shard I/O with compute.
+func TrainSource(ctx context.Context, m *Model, train, val FrameSource, cfg TrainConfig, lcurve io.Writer) (*TrainResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,6 +134,7 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	initBias(m, train)
 	m.SetThreads(cfg.Threads)
+	types := train.AtomTypes()
 
 	sched := nn.ExpDecaySchedule{Start: cfg.StartLR, Stop: cfg.StopLR, TotalSteps: cfg.Steps}
 	opt := nn.NewAdam()
@@ -124,7 +144,27 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 	for w := range grads {
 		grads[w] = make([]float64, nParams)
 	}
-	fs := &frameScratch{}
+	ws := &batchScratch{}
+	batch := make([]*dataset.Frame, cfg.BatchSize)
+
+	// Sampling is drawn one step ahead of consumption: idx holds the
+	// current step's frame indices, nextIdx the following step's.  The
+	// rng.Intn call sequence is exactly the scalar path's (step-major,
+	// worker-major, batch-minor) — drawing early changes when the calls
+	// happen, not their order — so seeded runs reproduce historical
+	// learning curves byte for byte, with or without a prefetcher.
+	prefetcher, _ := train.(Prefetcher)
+	idx := make([]int, cfg.Workers*cfg.BatchSize)
+	nextIdx := make([]int, cfg.Workers*cfg.BatchSize)
+	drawIndices := func(dst []int) {
+		for k := range dst {
+			dst[k] = rng.Intn(train.Len())
+		}
+	}
+	drawIndices(idx)
+	if prefetcher != nil {
+		prefetcher.Prefetch(idx)
+	}
 
 	// How many training frames each rmse_*_trn evaluation sees: ValFrames
 	// capped to the training set, where 0 (like EvalErrors' contract)
@@ -145,16 +185,41 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 		lr := nn.WorkerScale(cfg.ScaleByWorker, baseLR, cfg.Workers)
 		pe, pf := cfg.Prefactors.At(baseLR / cfg.StartLR)
 
+		if step+1 < cfg.Steps {
+			drawIndices(nextIdx)
+			if prefetcher != nil {
+				prefetcher.Prefetch(nextIdx)
+			}
+		}
+
 		// Each simulated worker computes gradients on its own random
 		// batch; the replicas are identical, so running them sequentially
 		// against the shared parameters is equivalent to synchronized
 		// data-parallel training.
 		for w := 0; w < cfg.Workers; w++ {
 			m.ZeroGrad()
-			for b := 0; b < cfg.BatchSize; b++ {
-				fr := &train.Frames[rng.Intn(train.Len())]
-				if err := accumulateFrameGrad(m, train.Types, fr, pe, pf, h, fs); err != nil {
+			widx := idx[w*cfg.BatchSize : (w+1)*cfg.BatchSize]
+			if cfg.Fast {
+				for b, fi := range widx {
+					fr, err := train.Frame(fi)
+					if err != nil {
+						return res, err
+					}
+					batch[b] = fr
+				}
+				if err := m.accumulateBatchGrad(ws, types, batch, pe, pf, h, true); err != nil {
 					return res, err
+				}
+			} else {
+				for _, fi := range widx {
+					fr, err := train.Frame(fi)
+					if err != nil {
+						return res, err
+					}
+					batch[0] = fr
+					if err := m.accumulateBatchGrad(ws, types, batch[:1], pe, pf, h, false); err != nil {
+						return res, err
+					}
 				}
 			}
 			if cfg.BatchSize > 1 {
@@ -162,6 +227,7 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 			}
 			m.FlatGrad(grads[w])
 		}
+		idx, nextIdx = nextIdx, idx
 		if err := ddp.AllReduceMean(grads); err != nil {
 			return res, err
 		}
@@ -171,8 +237,13 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 
 		if (step+1)%cfg.DispFreq == 0 || step == cfg.Steps-1 {
 			rec := LCurveRecord{Step: step + 1, LR: lr}
-			rec.RmseEVal, rec.RmseFVal = EvalErrors(m, val, cfg.ValFrames)
-			rec.RmseETrn, rec.RmseFTrn = EvalErrors(m, train, trnFrames)
+			var err error
+			if rec.RmseEVal, rec.RmseFVal, err = EvalErrorsSource(m, val, cfg.ValFrames); err != nil {
+				return res, err
+			}
+			if rec.RmseETrn, rec.RmseFTrn, err = EvalErrorsSource(m, train, trnFrames); err != nil {
+				return res, err
+			}
 			res.LCurve = append(res.LCurve, rec)
 			writeRecord(lcurve, rec)
 			if !finite(rec.RmseEVal) || !finite(rec.RmseFVal) {
@@ -187,95 +258,17 @@ func Train(ctx context.Context, m *Model, train, val *dataset.Dataset, cfg Train
 	return res, nil
 }
 
-// frameScratch holds per-frame training buffers that live for the whole
-// run: the shared neighbor list, the force-residual direction v, the
-// displaced coordinates, and the predicted-force buffer.  Reusing them
-// removes every per-frame allocation from the training hot path.
-type frameScratch struct {
-	nl     neighbor.List
-	v      []float64
-	pos    []float64
-	forces []float64
-}
-
-func (fs *frameScratch) resize(n3 int) {
-	if cap(fs.v) < n3 {
-		fs.v = make([]float64, n3)
-		fs.pos = make([]float64, n3)
-		fs.forces = make([]float64, n3)
-	}
-	fs.v, fs.pos, fs.forces = fs.v[:n3], fs.pos[:n3], fs.forces[:n3]
-}
-
-// accumulateFrameGrad adds one frame's loss gradient to the model's
-// accumulators.
-//
-// Energy term: ∂/∂θ [p_e (ΔE/N)²] = (2·p_e·ΔE/N²)·∂E/∂θ.
-//
-// Force term: with F = −∇ₓE and v = F_pred − F_ref,
-// ∂/∂θ [p_f/(3N)·‖v‖²] = −(2·p_f/3N)·vᵀ ∂(∇ₓE)/∂θ, and the contraction
-// vᵀ∂(∇ₓE)/∂θ is evaluated exactly to O(h²) as the directional central
-// difference [∂E/∂θ(x+h·v̂) − ∂E/∂θ(x−h·v̂)]·|v|/(2h) — second-order
-// backprop through the descriptor without implementing a second autodiff
-// pass (the role TensorFlow's double-gradient plays in DeePMD-kit).
-//
-// One neighbor list serves all four model evaluations of the frame: the
-// ±h·v̂ displacements move every atom by at most h, so a skin of a few h
-// keeps the candidate list valid at the perturbed coordinates.
-func accumulateFrameGrad(m *Model, types []int, fr *dataset.Frame, pe, pf, h float64, fs *frameScratch) error {
-	n := len(types)
-	fs.resize(len(fr.Coord))
-	fs.nl.Build(fr.Coord, fr.Box, m.Cfg.Descriptor.RCut, 4*h)
-
-	ePred := m.EnergyForcesNL(&fs.nl, fr.Coord, types, fr.Box, fs.forces)
-	fPred := fs.forces
-	if !finite(ePred) {
-		return ErrDiverged
-	}
-	dE := ePred - fr.Energy
-
-	// Energy-loss gradient.
-	m.AccumulateEnergyGradNL(&fs.nl, fr.Coord, types, fr.Box, 2*pe*dE/float64(n*n))
-
-	// Force-loss gradient via directional central difference.
-	var vnorm float64
-	v := fs.v
-	for k := range v {
-		v[k] = fPred[k] - fr.Force[k]
-		vnorm += v[k] * v[k]
-	}
-	vnorm = math.Sqrt(vnorm)
-	if vnorm < 1e-14 {
-		return nil // forces already exact; no gradient contribution
-	}
-	pos := fs.pos
-	scale := -(2 * pf / float64(3*n)) * vnorm / (2 * h)
-	for k := range pos {
-		pos[k] = fr.Coord[k] + h*v[k]/vnorm
-	}
-	m.AccumulateEnergyGradNL(&fs.nl, pos, types, fr.Box, scale)
-	for k := range pos {
-		pos[k] = fr.Coord[k] - h*v[k]/vnorm
-	}
-	m.AccumulateEnergyGradNL(&fs.nl, pos, types, fr.Box, -scale)
-	return nil
-}
-
 // initBias sets the per-species energy bias so the untrained network
 // predicts the training-set mean energy, the same trick DeePMD uses to
 // avoid learning a huge constant.
-func initBias(m *Model, d *dataset.Dataset) {
-	if d.Len() == 0 || d.NAtoms() == 0 {
-		// A nil or empty-but-nonnil dataset has no frames or no atoms to
-		// average over; dividing by NAtoms() would poison the biases.
+func initBias(m *Model, src FrameSource) {
+	natoms := len(src.AtomTypes())
+	if src.Len() == 0 || natoms == 0 {
+		// An empty source has no frames or no atoms to average over;
+		// dividing by the atom count would poison the biases.
 		return
 	}
-	mean := 0.0
-	for _, f := range d.Frames {
-		mean += f.Energy
-	}
-	mean /= float64(d.Len())
-	perAtom := mean / float64(d.NAtoms())
+	perAtom := src.MeanEnergy() / float64(natoms)
 	for t := range m.Bias {
 		m.Bias[t] = perAtom
 	}

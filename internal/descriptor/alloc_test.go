@@ -1,0 +1,144 @@
+package descriptor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// TestSteadyStateAllocs pins the pooled Forward/Backward/Release cycle —
+// and the training-only BackwardParams variant — at zero allocations per
+// call once the env pool and internal buffers are warm.  A regression
+// here means the convenience API started leaking Envs (Release lost) or
+// an internal scratch stopped being recycled.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; pooled paths allocate by design")
+	}
+	rng := rand.New(rand.NewSource(9))
+	d, err := New(rng, Config{
+		RCut: 4.0, RCutSmth: 1.0,
+		EmbeddingSizes: []int{4, 8},
+		AxisNeurons:    2,
+		Activation:     nn.Tanh,
+		NumSpecies:     3,
+		NeighborNorm:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	box := 6.0
+	coord := make([]float64, 3*n)
+	types := make([]int, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			coord[3*i+k] = rng.Float64() * box
+		}
+		types[i] = i % 3
+	}
+	dOut := make([]float64, d.Cfg.OutDim())
+	for i := range dOut {
+		dOut[i] = 1
+	}
+	dcoord := make([]float64, 3*n)
+
+	// Warm the pool and every size-dependent buffer: two sweeps over all
+	// atoms cover the largest neighbourhood and every embedding batch.
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := 0; i < n; i++ {
+			env := d.Forward(coord, types, box, i)
+			d.Backward(env, dOut, dcoord, true)
+			d.BackwardParams(env, dOut)
+			d.Release(env)
+		}
+	}
+
+	atom := 0
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Forward+Release", func() {
+			env := d.Forward(coord, types, box, atom%n)
+			d.Release(env)
+			atom++
+		}},
+		{"Forward+Backward+Release", func() {
+			env := d.Forward(coord, types, box, atom%n)
+			d.Backward(env, dOut, dcoord, true)
+			d.Release(env)
+			atom++
+		}},
+		{"Forward+BackwardParams+Release", func() {
+			env := d.Forward(coord, types, box, atom%n)
+			d.BackwardParams(env, dOut)
+			d.Release(env)
+			atom++
+		}},
+	}
+	for _, tc := range cases {
+		if got := testing.AllocsPerRun(50, tc.fn); got != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestBackwardParamsMatchesBackward verifies the training-only backward
+// accumulates exactly the parameter gradients of the full backward, bit
+// for bit, on a fresh accumulator.
+func TestBackwardParamsMatchesBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := Config{
+		RCut: 4.0, RCutSmth: 1.0,
+		EmbeddingSizes: []int{4, 8},
+		AxisNeurons:    2,
+		Activation:     nn.Tanh,
+		NumSpecies:     3,
+		NeighborNorm:   6,
+	}
+	d, err := New(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	box := 5.0
+	coord := make([]float64, 3*n)
+	types := make([]int, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			coord[3*i+k] = rng.Float64() * box
+		}
+		types[i] = i % 3
+	}
+	dOut := make([]float64, cfg.OutDim())
+	for i := range dOut {
+		dOut[i] = rng.NormFloat64()
+	}
+	dcoord := make([]float64, 3*n)
+
+	for i := 0; i < n; i++ {
+		env := d.Forward(coord, types, box, i)
+		d.Backward(env, dOut, dcoord, true)
+		want := flatGrads(d)
+		d.ZeroGrad()
+		d.BackwardParams(env, dOut)
+		got := flatGrads(d)
+		d.ZeroGrad()
+		d.Release(env)
+		for k := range want {
+			if want[k] != got[k] {
+				t.Fatalf("atom %d: grad[%d] = %v (BackwardParams) vs %v (Backward)", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func flatGrads(d *Descriptor) []float64 {
+	var out []float64
+	for _, pg := range d.Params() {
+		out = append(out, pg.Grad...)
+	}
+	return out
+}

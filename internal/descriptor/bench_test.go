@@ -50,7 +50,8 @@ func BenchmarkForwardByRCut(b *testing.B) {
 		b.Run(fmt.Sprintf("rcut=%v", rcut), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				d.Forward(coord, types, 17.84, i%160)
+				env := d.Forward(coord, types, 17.84, i%160)
+				d.Release(env)
 			}
 		})
 	}
@@ -70,6 +71,28 @@ func BenchmarkForwardBackward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := d.Forward(coord, types, 17.84, i%160)
 		d.Backward(env, dOut, dcoord, true)
+		d.Release(env)
+	}
+}
+
+// BenchmarkForwardBackwardParams is BenchmarkForwardBackward's
+// training-only sibling: the ±h directional-difference passes discard
+// coordinate gradients, so they run BackwardParams instead of the full
+// geometry backward.
+func BenchmarkForwardBackwardParams(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	coord, types := benchConfiguration(rng, 160, 17.84)
+	d := paperScaleDescriptor(b, 8.0)
+	dOut := make([]float64, d.Cfg.OutDim())
+	for i := range dOut {
+		dOut[i] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := d.Forward(coord, types, 17.84, i%160)
+		d.BackwardParams(env, dOut)
+		d.Release(env)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/nn"
 )
@@ -75,6 +76,11 @@ type Descriptor struct {
 
 	// params caches the Params() view (built by New/ShadowClone).
 	params []nn.ParamGrad
+
+	// envPool recycles Envs between Forward and Release so the
+	// convenience API is allocation-free in steady state, like the
+	// explicit ForwardEnv reuse path.
+	envPool sync.Pool
 }
 
 // ShadowClone returns a descriptor sharing this one's embedding
@@ -202,9 +208,21 @@ func (e *Env) EmbedNets() []int { return e.embedNets }
 
 // Forward evaluates the descriptor of atom i in a configuration given by
 // flat coordinates (atom-major xyz), per-atom types, and cubic box length
-// (0 disables periodicity).  The returned Env supports Backward.
+// (0 disables periodicity).  The returned Env supports Backward.  The Env
+// comes from an internal pool; hand it back with Release once its
+// outputs are no longer needed, after which repeated Forward/Release
+// pairs allocate nothing.
 func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *Env {
-	return d.ForwardEnv(nil, coord, types, box, i, nil)
+	env, _ := d.envPool.Get().(*Env)
+	return d.ForwardEnv(env, coord, types, box, i, nil)
+}
+
+// Release returns an Env obtained from Forward to the descriptor's pool.
+// The Env (including its Out slice) must not be used afterwards.
+func (d *Descriptor) Release(env *Env) {
+	if env != nil {
+		d.envPool.Put(env)
+	}
 }
 
 // ForwardEnv is Forward with explicit scratch reuse and an optional
@@ -215,10 +233,33 @@ func (d *Descriptor) Forward(coord []float64, types []int, box float64, i int) *
 // are still measured against coord, so any candidate superset of the
 // true neighbourhood yields results bit-identical to the full scan.
 func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box float64, i int, cand []int) *Env {
+	env = d.ScanEnv(env, coord, types, box, i, cand)
+
+	// Batched embedding: every neighbour sharing a net runs through it as
+	// one ForwardBatch.  Row r of each batch is bit-identical to the old
+	// per-neighbour scalar forward, so everything downstream sees the same
+	// bits in the same order.
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		if b.tape == nil {
+			b.tape = &nn.BatchTape{}
+		}
+		b.out = d.Embed[b.net].ForwardBatch(b.tape, b.in, b.n)
+	}
+	d.finishEnv(env)
+	return env
+}
+
+// ScanEnv runs only the neighbourhood scan of ForwardEnv: it fills the
+// Env's neighbour slots and per-net input batches but does not evaluate
+// the embedding networks or the descriptor tail.  The fused training
+// path (ForwardEnvBatch) uses it to gather many environments into one
+// embedding forward per network; after ScanEnv the Env is incomplete
+// until that fused pass (or ForwardEnv) finishes it.
+func (d *Descriptor) ScanEnv(env *Env, coord []float64, types []int, box float64, i int, cand []int) *Env {
 	if env == nil {
 		env = &Env{}
 	}
-	m1 := d.Cfg.M1()
 	env.center = i
 	env.n = 0
 	if len(env.embedTouched) != len(d.Embed) {
@@ -290,18 +331,15 @@ func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box floa
 			consider(j)
 		}
 	}
+	return env
+}
 
-	// Batched embedding: every neighbour sharing a net runs through it as
-	// one ForwardBatch.  Row r of each batch is bit-identical to the old
-	// per-neighbour scalar forward, so everything downstream sees the same
-	// bits in the same order.
-	for bi := 0; bi < env.nBatches; bi++ {
-		b := &env.batches[bi]
-		if b.tape == nil {
-			b.tape = &nn.BatchTape{}
-		}
-		b.out = d.Embed[b.net].ForwardBatch(b.tape, b.in, b.n)
-	}
+// finishEnv computes the descriptor tail — per-neighbour G views, the T1
+// contraction and the output matrix — once the embedding outputs are in
+// place (per-env tapes from ForwardEnv or fused views from
+// ForwardEnvBatch).
+func (d *Descriptor) finishEnv(env *Env) {
+	m1 := d.Cfg.M1()
 	for ni := 0; ni < env.n; ni++ {
 		nb := &env.nbrs[ni]
 		nb.g = env.batches[nb.bIdx].out[nb.bRow*m1 : (nb.bRow+1)*m1]
@@ -338,7 +376,6 @@ func (d *Descriptor) ForwardEnv(env *Env, coord []float64, types []int, box floa
 			out[mi*m2n+mj] = sum
 		}
 	}
-	return env
 }
 
 // ensureZeroed returns buf resized to n with every element zero, reusing
@@ -359,11 +396,42 @@ func ensureZeroed(buf []float64, n int) []float64 {
 // gradients into dcoord (flat, same layout as coord).  Set train=false to
 // skip parameter-gradient accumulation (force inference).
 func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train bool) {
+	d.computeDT1(env, dOut)
+
+	// Phase 1: per-neighbour upstream gradients, in neighbour scan order.
+	// Each neighbour's dL/dG row lands in its net batch's dy matrix; the
+	// R̃-row gradients are stashed on the neighbour for phase 3.
+	m1 := d.Cfg.M1()
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		b.dy = ensureZeroed(b.dy, b.n*m1)
+	}
+	d.scatterUpstream(env, true)
+
+	// Phase 2: through the embedding networks to their scalar inputs, one
+	// batched backward per net.  Rows accumulate into each net's gradient
+	// shards in ascending row order — the same subsequence order the
+	// per-neighbour path used, since only a net's own neighbours ever touch
+	// its accumulators.
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		net := d.Embed[b.net]
+		if train {
+			b.ds = net.BackwardBatch(b.tape, b.dy, b.n)
+		} else {
+			b.ds = net.InputGradBatch(b.tape, b.dy, b.n)
+		}
+	}
+
+	d.geometryChain(env, dcoord)
+}
+
+// computeDT1 fills env.dT1 with dL/dT1[a][m] from D = T1ᵀ·T1[:, :M2] —
+// the first phase of every descriptor backward.
+func (d *Descriptor) computeDT1(env *Env, dOut []float64) {
 	m1 := d.Cfg.M1()
 	m2n := d.Cfg.AxisNeurons
 	t1 := env.t1
-
-	// dL/dT1[a][m] from D = T1ᵀ·T1[:, :M2].
 	env.dT1 = ensureZeroed(env.dT1, 4*m1)
 	dT1 := env.dT1
 	for a := 0; a < 4; a++ {
@@ -384,15 +452,16 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 			da[mj] += g
 		}
 	}
+}
 
+// scatterUpstream spreads env.dT1 onto each neighbour's dL/dG row (into
+// its batch's pre-zeroed dy matrix), in neighbour scan order.  With
+// stashDR it additionally stashes the dL/dR̃ rows the geometry chain rule
+// consumes; the arithmetic of the dG scatter is identical either way.
+func (d *Descriptor) scatterUpstream(env *Env, stashDR bool) {
+	m1 := d.Cfg.M1()
+	dT1 := env.dT1
 	inv := 1 / d.Cfg.NeighborNorm
-	// Phase 1: per-neighbour upstream gradients, in neighbour scan order.
-	// Each neighbour's dL/dG row lands in its net batch's dy matrix; the
-	// R̃-row gradients are stashed on the neighbour for phase 3.
-	for bi := 0; bi < env.nBatches; bi++ {
-		b := &env.batches[bi]
-		b.dy = ensureZeroed(b.dy, b.n*m1)
-	}
 	for ni := 0; ni < env.n; ni++ {
 		nb := &env.nbrs[ni]
 		// dL/dG_j[m] = Σ_a dT1[a][m]·R̃_j[a]/norm
@@ -400,32 +469,27 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 		for a := 0; a < 4; a++ {
 			ra := nb.rhat[a] * inv
 			da := dT1[a*m1 : (a+1)*m1]
-			// dL/dR̃_j[a] = Σ_m dT1[a][m]·G_j[m]/norm
-			sum := 0.0
-			for m := 0; m < m1; m++ {
-				dg[m] += da[m] * ra
-				sum += da[m] * nb.g[m]
+			if stashDR {
+				// dL/dR̃_j[a] = Σ_m dT1[a][m]·G_j[m]/norm
+				sum := 0.0
+				for m := 0; m < m1; m++ {
+					dg[m] += da[m] * ra
+					sum += da[m] * nb.g[m]
+				}
+				nb.dr[a] = sum * inv
+			} else {
+				for m := 0; m < m1; m++ {
+					dg[m] += da[m] * ra
+				}
 			}
-			nb.dr[a] = sum * inv
 		}
 	}
+}
 
-	// Phase 2: through the embedding networks to their scalar inputs, one
-	// batched backward per net.  Rows accumulate into each net's gradient
-	// shards in ascending row order — the same subsequence order the
-	// per-neighbour path used, since only a net's own neighbours ever touch
-	// its accumulators.
-	for bi := 0; bi < env.nBatches; bi++ {
-		b := &env.batches[bi]
-		net := d.Embed[b.net]
-		if train {
-			b.ds = net.BackwardBatch(b.tape, b.dy, b.n)
-		} else {
-			b.ds = net.InputGradBatch(b.tape, b.dy, b.n)
-		}
-	}
-
-	// Phase 3: geometry chain rule, again in neighbour scan order.
+// geometryChain applies the chain rule from the stashed dL/dR̃ rows and
+// the embedding input gradients (batch ds views) to the coordinates —
+// phase 3 of the full backward, in neighbour scan order.
+func (d *Descriptor) geometryChain(env *Env, dcoord []float64) {
 	for ni := 0; ni < env.n; ni++ {
 		nb := &env.nbrs[ni]
 		dsEmbed := env.batches[nb.bIdx].ds[nb.bRow]
@@ -454,6 +518,35 @@ func (d *Descriptor) Backward(env *Env, dOut []float64, dcoord []float64, train 
 			dcoord[3*nb.j+k] += dd[k]
 			dcoord[3*env.center+k] -= dd[k]
 		}
+	}
+}
+
+// BackwardParams accumulates embedding-network parameter gradients for
+// upstream gradient dOut without computing coordinate gradients — the
+// training-only backward.  The parameter accumulation is bit-identical
+// to Backward(env, dOut, dcoord, true): it runs the same dT1 reduction,
+// per-neighbour dG scatter and batched net backwards in the same order,
+// and merely skips the R̃-row stash and geometry chain rule, which touch
+// no parameter accumulator.  Gradient-descent passes that discard dcoord
+// (the ±h directional-difference passes of the force loss) use this to
+// shed roughly a third of the descriptor backward.
+func (d *Descriptor) BackwardParams(env *Env, dOut []float64) {
+	d.computeDT1(env, dOut)
+
+	// Per-neighbour upstream gradients into the net batches, as in
+	// Backward phase 1 minus the dL/dR̃ stash.
+	m1 := d.Cfg.M1()
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		b.dy = ensureZeroed(b.dy, b.n*m1)
+	}
+	d.scatterUpstream(env, false)
+
+	// Batched backward through each touched net; the input gradients are
+	// not needed.
+	for bi := 0; bi < env.nBatches; bi++ {
+		b := &env.batches[bi]
+		d.Embed[b.net].BackwardBatch(b.tape, b.dy, b.n)
 	}
 }
 

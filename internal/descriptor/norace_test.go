@@ -1,0 +1,5 @@
+//go:build !race
+
+package descriptor
+
+const raceEnabled = false

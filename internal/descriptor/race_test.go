@@ -1,0 +1,8 @@
+//go:build race
+
+package descriptor
+
+// raceEnabled reports that this binary was built with -race.  The race
+// detector makes sync.Pool deliberately drop items (to expose reuse
+// races), so pooled paths cannot stay allocation-free under it.
+const raceEnabled = true

@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/dataset"
 	"repro/internal/deepmd"
 	"repro/internal/ea"
 	"repro/internal/uuid"
@@ -89,11 +88,12 @@ func (w *WorkflowEvaluator) Evaluate(ctx context.Context, g ea.Genome) (ea.Fitne
 }
 
 // RealTrainer trains an actual deepmd model in-process: the substitution
-// for invoking the `dp` executable.  Datasets are loaded once and shared
-// across evaluations.
+// for invoking the `dp` executable.  Frame sources are opened once and
+// shared across evaluations; they may be in-memory datasets or
+// out-of-core stream stores — training is bit-identical either way.
 type RealTrainer struct {
-	Train *dataset.Dataset
-	Val   *dataset.Dataset
+	Train deepmd.FrameSource
+	Val   deepmd.FrameSource
 	// Workers is the simulated data-parallel width (6 in the paper).
 	Workers int
 	// StepsOverride, if positive, truncates numb_steps (reduced-scale
@@ -101,6 +101,10 @@ type RealTrainer struct {
 	StepsOverride int
 	// ValFrames caps validation frames per lcurve evaluation.
 	ValFrames int
+	// Fast selects the cross-frame fused gradient path (see
+	// deepmd.TrainConfig.Fast); learning curves then follow a relaxed
+	// reduction order instead of the paper's bit-exact one.
+	Fast bool
 }
 
 // TrainRun implements the Trainer interface.
@@ -129,6 +133,7 @@ func (rt *RealTrainer) TrainRun(ctx context.Context, inputPath, runDir string) e
 		tc.Steps = rt.StepsOverride
 	}
 	tc.ValFrames = rt.ValFrames
+	tc.Fast = rt.Fast
 
 	rngSeed := tc.Seed
 	model, err := deepmd.NewModel(newSeededRand(rngSeed), mc)
@@ -140,18 +145,21 @@ func (rt *RealTrainer) TrainRun(ctx context.Context, inputPath, runDir string) e
 		return err
 	}
 	defer lcurve.Close()
-	_, err = deepmd.Train(ctx, model, rt.Train, rt.Val, tc, lcurve)
+	_, err = deepmd.TrainSource(ctx, model, rt.Train, rt.Val, tc, lcurve)
 	return err
 }
 
 // estimateNeighbors returns the average neighbour count within rcut for
-// the first frame of the dataset, used as the descriptor normalization.
-func estimateNeighbors(d *dataset.Dataset, rcut float64) float64 {
-	if d == nil || d.Len() == 0 {
+// the first frame of the source, used as the descriptor normalization.
+func estimateNeighbors(src deepmd.FrameSource, rcut float64) float64 {
+	if src == nil || src.Len() == 0 {
 		return 16
 	}
-	f := d.Frames[0]
-	n := d.NAtoms()
+	f, err := src.Frame(0)
+	if err != nil {
+		return 16
+	}
+	n := len(src.AtomTypes())
 	count := 0
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {

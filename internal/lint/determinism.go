@@ -20,6 +20,7 @@ var deterministicPkgs = map[string]bool{
 	"nn":         true,
 	"blas":       true,
 	"refcheck":   true,
+	"stream":     true,
 }
 
 // Determinism flags nondeterminism sources in deterministic packages:

@@ -14,6 +14,7 @@ var errDiscardPkgs = map[string]bool{
 	"cluster": true,
 	"npy":     true,
 	"dataset": true,
+	"stream":  true,
 }
 
 // ErrDiscard flags discarded errors on I/O, network and encode paths in
@@ -23,7 +24,7 @@ var errDiscardPkgs = map[string]bool{
 // best-effort discards take a //lint:ignore with the reason.
 var ErrDiscard = &Analyzer{
 	Name: "errdiscard",
-	Doc:  "no dropped errors on io/net/encode paths in cluster, npy, dataset",
+	Doc:  "no dropped errors on io/net/encode paths in cluster, npy, dataset, stream",
 	Run:  runErrDiscard,
 }
 

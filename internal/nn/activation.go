@@ -23,6 +23,18 @@ type Activation interface {
 	Deriv(x float64) float64
 }
 
+// OutputDeriver is implemented by activations whose derivative can be
+// recovered from the activation output y = Apply(x) alone, with bits
+// identical to Deriv(x): tanh' = 1−y², sigmoid' = y(1−y), and the
+// piecewise-linear ramps, whose output determines the active piece.
+// Backward passes use it to skip re-evaluating the transcendental the
+// forward pass already computed.  Softplus does not implement it — its
+// derivative sigmoid(x) is not recoverable from log1p(exp(x)) without a
+// rounding difference.
+type OutputDeriver interface {
+	DerivFromOutput(y float64) float64
+}
+
 // The five activation choices the paper explores for the descriptor and
 // fitting networks (§2.2.1).
 var (
@@ -73,6 +85,13 @@ func (relu) Deriv(x float64) float64 {
 	}
 	return 0
 }
+func (relu) DerivFromOutput(y float64) float64 {
+	// y = x when x > 0, else 0, so y > 0 iff x > 0.
+	if y > 0 {
+		return 1
+	}
+	return 0
+}
 
 type relu6 struct{}
 
@@ -88,6 +107,13 @@ func (relu6) Apply(x float64) float64 {
 }
 func (relu6) Deriv(x float64) float64 {
 	if x > 0 && x < 6 {
+		return 1
+	}
+	return 0
+}
+func (relu6) DerivFromOutput(y float64) float64 {
+	// y = x on the linear piece, saturating to 0 and 6 exactly.
+	if y > 0 && y < 6 {
 		return 1
 	}
 	return 0
@@ -116,6 +142,7 @@ func (sigmoid) Deriv(x float64) float64 {
 	s := sigmoidFn(x)
 	return s * (1 - s)
 }
+func (sigmoid) DerivFromOutput(y float64) float64 { return y * (1 - y) }
 
 func sigmoidFn(x float64) float64 {
 	if x >= 0 {
@@ -133,9 +160,11 @@ func (tanhAct) Deriv(x float64) float64 {
 	t := math.Tanh(x)
 	return 1 - t*t
 }
+func (tanhAct) DerivFromOutput(y float64) float64 { return 1 - y*y }
 
 type identity struct{}
 
-func (identity) Name() string            { return "identity" }
-func (identity) Apply(x float64) float64 { return x }
-func (identity) Deriv(float64) float64   { return 1 }
+func (identity) Name() string                    { return "identity" }
+func (identity) Apply(x float64) float64         { return x }
+func (identity) Deriv(float64) float64           { return 1 }
+func (identity) DerivFromOutput(float64) float64 { return 1 }

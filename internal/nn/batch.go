@@ -71,10 +71,20 @@ func (bt *BatchTrace) checkBatch(d *Dense, dy []float64, n int) {
 }
 
 // scaleDeriv fills bt.dg with dy scaled elementwise by the activation
-// derivative at the recorded pre-activations.
+// derivative at the recorded pre-activations.  Activations implementing
+// OutputDeriver evaluate the derivative from the recorded outputs instead
+// — same bits, no transcendental recompute.
 func (d *Dense) scaleDeriv(bt *BatchTrace, dy []float64, n int) {
 	bt.dg = ensureLen(bt.dg, n*d.Out)
-	dg, preact := bt.dg, bt.preact[:n*d.Out]
+	dg := bt.dg
+	if od, ok := d.Act.(OutputDeriver); ok {
+		out := bt.out[:n*d.Out]
+		for i, v := range dy {
+			dg[i] = v * od.DerivFromOutput(out[i])
+		}
+		return
+	}
+	preact := bt.preact[:n*d.Out]
 	for i, v := range dy {
 		dg[i] = v * d.Act.Deriv(preact[i])
 	}

@@ -108,8 +108,14 @@ func (d *Dense) Backward(tr *Trace, dy []float64) (dx []float64) {
 	for i := range dx {
 		dx[i] = 0
 	}
+	od, hasOD := d.Act.(OutputDeriver)
 	for o := 0; o < d.Out; o++ {
-		g := dy[o] * d.Act.Deriv(tr.preact[o])
+		var g float64
+		if hasOD {
+			g = dy[o] * od.DerivFromOutput(tr.out[o])
+		} else {
+			g = dy[o] * d.Act.Deriv(tr.preact[o])
+		}
 		d.GradB[o] += g
 		row := d.W[o*d.In : (o+1)*d.In]
 		grow := d.GradW[o*d.In : (o+1)*d.In]
@@ -131,8 +137,14 @@ func (d *Dense) InputGrad(tr *Trace, dy []float64) (dx []float64) {
 	for i := range dx {
 		dx[i] = 0
 	}
+	od, hasOD := d.Act.(OutputDeriver)
 	for o := 0; o < d.Out; o++ {
-		g := dy[o] * d.Act.Deriv(tr.preact[o])
+		var g float64
+		if hasOD {
+			g = dy[o] * od.DerivFromOutput(tr.out[o])
+		} else {
+			g = dy[o] * d.Act.Deriv(tr.preact[o])
+		}
 		row := d.W[o*d.In : (o+1)*d.In]
 		for i := 0; i < d.In; i++ {
 			dx[i] += g * row[i]

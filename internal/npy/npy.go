@@ -121,60 +121,40 @@ func writeHeader(w io.Writer, descr string, shape []int) error {
 // Non-float64 data is converted to float64.
 func Read(r io.Reader) (*Array, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("npy: reading magic: %w", err)
-	}
-	for i := 0; i < 6; i++ {
-		if head[i] != magic[i] {
-			return nil, errors.New("npy: bad magic string")
-		}
-	}
-	if head[6] != 1 {
-		return nil, fmt.Errorf("npy: unsupported format version %d.%d", head[6], head[7])
-	}
-	var hlen [2]byte
-	if _, err := io.ReadFull(br, hlen[:]); err != nil {
-		return nil, fmt.Errorf("npy: reading header length: %w", err)
-	}
-	header := make([]byte, binary.LittleEndian.Uint16(hlen[:]))
-	if _, err := io.ReadFull(br, header); err != nil {
-		return nil, fmt.Errorf("npy: reading header: %w", err)
-	}
-	descr, fortran, shape, err := parseHeader(string(header))
+	h, err := ReadHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	if fortran {
+	if h.Fortran {
 		return nil, errors.New("npy: fortran_order arrays are not supported")
 	}
-	n := 1
-	for _, s := range shape {
-		if s != 0 && n > math.MaxInt/8/s {
-			return nil, fmt.Errorf("npy: shape %v overflows element count", shape)
-		}
-		n *= s
+	n, err := h.elems()
+	if err != nil {
+		return nil, err
 	}
-	var elemSize int
-	var conv func([]byte) float64
-	switch descr {
-	case "<f8":
-		elemSize = 8
-		conv = func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
-	case "<f4":
-		elemSize = 4
-		conv = func(b []byte) float64 { return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))) }
-	case "<i8":
-		elemSize = 8
-		conv = func(b []byte) float64 { return float64(int64(binary.LittleEndian.Uint64(b))) }
-	default:
-		return nil, fmt.Errorf("npy: unsupported dtype %q", descr)
+	elemSize, conv, err := dtypeInfo(h.Descr)
+	if err != nil {
+		return nil, err
 	}
 	data, err := readPayload(br, n, elemSize, conv)
 	if err != nil {
 		return nil, err
 	}
-	return &Array{Shape: shape, Data: data}, nil
+	return &Array{Shape: h.Shape, Data: data}, nil
+}
+
+// dtypeInfo resolves a supported dtype descr to its element size and
+// little-endian float64 conversion.
+func dtypeInfo(descr string) (elemSize int, conv func([]byte) float64, err error) {
+	switch descr {
+	case "<f8":
+		return 8, func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }, nil
+	case "<f4":
+		return 4, func(b []byte) float64 { return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))) }, nil
+	case "<i8":
+		return 8, func(b []byte) float64 { return float64(int64(binary.LittleEndian.Uint64(b))) }, nil
+	}
+	return 0, nil, fmt.Errorf("npy: unsupported dtype %q", descr)
 }
 
 // payloadChunkElems bounds the elements decoded per read, so a hostile

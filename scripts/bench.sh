@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# bench.sh — hot-path benchmark runner for the batched-kernel PR.
+# bench.sh — hot-path benchmark runner for the streaming-dataset PR.
 #
-# Runs the nn, descriptor, and deepmd benchmarks and writes BENCH_5.json
-# at the repo root: ns/op and allocs/op per benchmark, plus the speedup
-# of each batched fitting-net path over its scalar twin (the kernel PR's
-# acceptance metric, target >= 1.5x).
+# Runs the nn, descriptor, deepmd, and dataset/stream benchmarks and
+# writes BENCH_6.json at the repo root: ns/op and allocs/op per
+# benchmark, the speedup of each batched fitting-net path over its
+# scalar twin, and the per-frame train-step speedup of the whole-frame
+# batched path over the previous PR's per-atom baseline recorded in
+# BENCH_5.json (this PR's acceptance metric, target >= 2x for the fast
+# cross-frame mode).
 #
 # Each benchmark runs BENCHCOUNT times and the fastest rep is recorded,
 # which keeps the speedup ratios stable on noisy shared machines.
@@ -17,14 +20,19 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-0.3s}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
-OUT="${OUT:-BENCH_5.json}"
+OUT="${OUT:-BENCH_6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$BENCHCOUNT" \
-    ./internal/nn/... ./internal/descriptor/ ./internal/deepmd/ | tee "$raw"
+# Per-frame train-step cost of the previous PR, from the committed
+# BENCH_5.json (BatchSize=1, so ns/op is already per frame).
+base5="$(sed -n 's/.*"BenchmarkTrainStepByWorkers\/workers=1": {"ns_per_op": \([0-9]*\).*/\1/p' BENCH_5.json)"
 
-awk -v benchtime="$BENCHTIME" '
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$BENCHCOUNT" \
+    ./internal/nn/... ./internal/descriptor/ ./internal/deepmd/ \
+    ./internal/dataset/stream/ | tee "$raw"
+
+awk -v benchtime="$BENCHTIME" -v base5="$base5" '
 $1 ~ /^Benchmark/ && $4 == "ns/op" {
     name = $1; sub(/-[0-9]+$/, "", name)
     if (!(name in ns)) { order[++n] = name }
@@ -49,6 +57,19 @@ END {
         scalar = name; sub(/Batch\//, "Scalar/", scalar)
         if (!(scalar in ns) || ns[name] + 0 == 0) continue
         pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[scalar] / ns[name])
+    }
+    for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
+    # Per-frame speedup of the whole-frame batched train step over the
+    # previous PR: BENCH_5 TrainStepByWorkers/workers=1 ns/frame divided
+    # by this run TrainStepBatch ns/op over its batch size.
+    printf "  },\n  \"train_step_speedup_vs_bench5\": {\n"
+    np = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name !~ /TrainStepBatch\//) continue
+        batch = name; sub(/.*batch=/, "", batch)
+        if (batch + 0 == 0 || ns[name] + 0 == 0 || base5 + 0 == 0) continue
+        pairs[++np] = sprintf("    \"%s\": %.2f", name, base5 / (ns[name] / batch))
     }
     for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
     printf "  }\n}\n"

@@ -110,6 +110,19 @@ func main() {
 	writeCorpus(clusterDir, "hostile_length_no_body", bytesEntry(hostile[:]))
 	writeCorpus(clusterDir, "bad_json", bytesEntry(frame([]byte(`{"type":`))))
 
+	streamDir := filepath.Join("internal", "dataset", "stream", "testdata", "fuzz", "FuzzShardIndex")
+	shardOK := npyBytes([]int{2, 6}, []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 10.5, 11.5})
+	writeCorpus(streamDir, "valid_2x6_shard", bytesEntry(shardOK))
+	writeCorpus(streamDir, "truncated_shard", bytesEntry(shardOK[:len(shardOK)-7]))
+	writeCorpus(streamDir, "header_no_payload",
+		bytesEntry(rawNpy("{'descr': '<f8', 'fortran_order': False, 'shape': (2, 6), }", nil)))
+	writeCorpus(streamDir, "hostile_row_claim",
+		bytesEntry(rawNpy("{'descr': '<f8', 'fortran_order': False, 'shape': (1000000, 6), }", nil)))
+	writeCorpus(streamDir, "wrong_width",
+		bytesEntry(npyBytes([]int{2, 4}, []float64{1, 2, 3, 4, 5, 6, 7, 8})))
+	writeCorpus(streamDir, "one_dimensional",
+		bytesEntry(npyBytes([]int{6}, []float64{1, 2, 3, 4, 5, 6})))
+
 	deepmdDir := filepath.Join("internal", "deepmd", "testdata", "fuzz", "FuzzInputJSON")
 	writeCorpus(deepmdDir, "paper_input", stringEntry(`{
   "model": {
