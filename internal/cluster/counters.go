@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// EventCounters tallies scheduler lifecycle events by type: the
+// gauge-shaped digest of the event stream, cheap enough to sit directly
+// on the Scheduler.OnEvent hot path and feed a /metrics endpoint.
+//
+// Wire it up with:
+//
+//	var ec cluster.EventCounters
+//	sched.OnEvent = ec.Record
+type EventCounters struct {
+	mu     sync.Mutex
+	counts map[EventType]int64
+}
+
+// Record tallies one event.  It is safe for concurrent use and never
+// calls back into the scheduler, as the OnEvent contract requires.
+func (ec *EventCounters) Record(e Event) {
+	ec.mu.Lock()
+	if ec.counts == nil {
+		ec.counts = make(map[EventType]int64)
+	}
+	ec.counts[e.Type]++
+	ec.mu.Unlock()
+}
+
+// Count returns the tally for one event type.
+func (ec *EventCounters) Count(t EventType) int64 {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.counts[t]
+}
+
+// Counts returns parallel slices of the observed event types (sorted
+// lexically, for deterministic rendering) and their tallies.
+func (ec *EventCounters) Counts() ([]EventType, []int64) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	types := make([]EventType, 0, len(ec.counts))
+	for t := range ec.counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	counts := make([]int64, len(types))
+	for i, t := range types {
+		counts[i] = ec.counts[t]
+	}
+	return types, counts
+}

@@ -50,8 +50,10 @@ type memoEntry struct {
 //
 // Concurrent lookups of the same genome coalesce, singleflight-style:
 // the first caller (the leader) runs the inner evaluator while the rest
-// wait on its result.  If the leader fails, waiting callers re-compete
-// to lead rather than inheriting the failure.
+// wait on its result.  If the leader fails — including by panicking
+// inside the inner evaluator — waiting callers re-compete to lead
+// rather than inheriting the failure or blocking on an entry that will
+// never resolve.
 type MemoEvaluator struct {
 	// Inner is the wrapped evaluator.
 	Inner Evaluator
@@ -83,22 +85,7 @@ func (m *MemoEvaluator) Evaluate(ctx context.Context, g Genome) (Fitness, error)
 			m.entries[key] = e
 			m.misses++
 			m.mu.Unlock()
-
-			fit, err := m.Inner.Evaluate(ctx, g)
-			m.mu.Lock()
-			if err != nil {
-				// Don't cache failures: remove the entry before releasing
-				// the waiters so a later occurrence retries.
-				delete(m.entries, key)
-			} else {
-				e.fit, e.ok = fit.Clone(), true
-			}
-			m.mu.Unlock()
-			close(e.done)
-			if err != nil {
-				return nil, err
-			}
-			return fit, nil
+			return m.lead(ctx, key, e, g)
 		}
 		m.hits++
 		m.mu.Unlock()
@@ -117,6 +104,45 @@ func (m *MemoEvaluator) Evaluate(ctx context.Context, g Genome) (Fitness, error)
 		m.hits--
 		m.mu.Unlock()
 	}
+}
+
+// lead runs the inner evaluator as the singleflight leader for key,
+// publishes the result (or unpublishes the entry on failure) and
+// releases the waiters.  The deferred cleanup guards the gap between
+// publishing the in-flight entry and closing done: if the inner
+// evaluator panics, the entry is unpublished and done is closed anyway,
+// so waiters re-compete for leadership instead of blocking forever on a
+// channel nobody will ever close.  The panic itself propagates — the
+// evaluation pool's safeEvaluate converts it to a MAXINT failure — so
+// the caller's failure semantics are unchanged.
+func (m *MemoEvaluator) lead(ctx context.Context, key string, e *memoEntry, g Genome) (fit Fitness, err error) {
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		m.mu.Lock()
+		delete(m.entries, key)
+		m.mu.Unlock()
+		close(e.done)
+	}()
+
+	fit, err = m.Inner.Evaluate(ctx, g)
+	m.mu.Lock()
+	if err != nil {
+		// Don't cache failures: remove the entry before releasing the
+		// waiters so a later occurrence retries.
+		delete(m.entries, key)
+	} else {
+		e.fit, e.ok = fit.Clone(), true
+	}
+	m.mu.Unlock()
+	settled = true
+	close(e.done)
+	if err != nil {
+		return nil, err
+	}
+	return fit, nil
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGenomeKeyExactBits(t *testing.T) {
@@ -158,6 +160,74 @@ func TestMemoEvaluatorWaiterHonorsCancellation(t *testing.T) {
 	}
 	close(release)
 	<-leaderDone
+}
+
+// TestMemoEvaluatorLeaderPanicReleasesWaiters is the regression test for
+// the leaked-waiter bug: a leader that panicked between publishing its
+// in-flight entry and closing done left the entry in the map forever, so
+// every later Evaluate of that genome blocked on a channel nobody would
+// close.  The leader must unpublish on panic so waiters re-compete.
+func TestMemoEvaluatorLeaderPanicReleasesWaiters(t *testing.T) {
+	var calls int32
+	var m *MemoEvaluator
+	inner := EvaluatorFunc(func(ctx context.Context, g Genome) (Fitness, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			// First leader: wait until a waiter has piggybacked on the
+			// in-flight entry, then die in the publish→close(done) gap.
+			for m.Stats().Hits == 0 {
+				runtime.Gosched()
+			}
+			panic("simulated evaluator crash")
+		}
+		return Fitness{g[0] * 2}, nil
+	})
+	m = NewMemoEvaluator(inner)
+
+	leaderPanic := make(chan interface{}, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		_, _ = m.Evaluate(context.Background(), Genome{7})
+	}()
+	// Wait until the leader has published its in-flight entry, so the
+	// next Evaluate is deterministically a waiter, not a second leader.
+	for m.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+
+	type res struct {
+		fit Fitness
+		err error
+	}
+	// Waiter with no deadline: pre-fix it blocks forever on the leaked
+	// entry; post-fix it re-competes, leads, and succeeds.
+	waiter := make(chan res, 1)
+	go func() {
+		fit, err := m.Evaluate(context.Background(), Genome{7})
+		waiter <- res{fit, err}
+	}()
+
+	select {
+	case r := <-waiter:
+		if r.err != nil {
+			t.Fatalf("waiter after leader panic: %v", r.err)
+		}
+		if len(r.fit) != 1 || r.fit[0] != 14 {
+			t.Fatalf("waiter fitness = %v, want [14]", r.fit)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked after leader panic: in-flight entry leaked")
+	}
+	if p := <-leaderPanic; p == nil {
+		t.Fatal("leader did not panic (test harness broken)")
+	}
+	// The re-competed leader's success must be cached and servable.
+	fit, err := m.Evaluate(context.Background(), Genome{7})
+	if err != nil || fit[0] != 14 {
+		t.Fatalf("post-recovery lookup: %v, %v", fit, err)
+	}
+	if st := m.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (no leaked in-flight entry)", st.Entries)
+	}
 }
 
 func TestMemoEvaluatorDistinctGenomesMiss(t *testing.T) {

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/ea"
@@ -17,16 +19,88 @@ import (
 // analyzed offline or resumed into the figure/table generators without
 // re-running anything.
 
+// JSONFloats is a float slice whose non-finite members survive JSON:
+// NaN and ±Inf are encoded as the string sentinels "NaN", "+Inf" and
+// "-Inf" (encoding/json rejects the bare values outright).  Rank and
+// crowding distance are dropped rather than sentinel-encoded because
+// they are recomputable; fitness values are not — an evaluator that
+// returns +Inf for a diverged loss, or the NaNs a cancelled training
+// leaves behind, must round-trip or the whole campaign refuses to save.
+// Finite values use strconv's shortest round-trip formatting, so no
+// precision is lost either way.  Exported because every API surface that
+// serializes fitness vectors (the campaign service's frontier endpoint,
+// for one) has the same problem.
+type JSONFloats []float64
+
+// MarshalJSON implements json.Marshaler with sentinel strings for
+// non-finite values.
+func (f JSONFloats) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 16*len(f)+2)
+	buf = append(buf, '[')
+	for i, v := range f {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		switch {
+		case math.IsNaN(v):
+			buf = append(buf, `"NaN"`...)
+		case math.IsInf(v, 1):
+			buf = append(buf, `"+Inf"`...)
+		case math.IsInf(v, -1):
+			buf = append(buf, `"-Inf"`...)
+		default:
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+	}
+	return append(buf, ']'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both plain
+// numbers and the sentinel strings.
+func (f *JSONFloats) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(JSONFloats, len(raw))
+	for i, r := range raw {
+		if len(r) > 0 && r[0] == '"' {
+			var s string
+			if err := json.Unmarshal(r, &s); err != nil {
+				return err
+			}
+			switch s {
+			case "NaN":
+				out[i] = math.NaN()
+			case "+Inf", "Inf":
+				out[i] = math.Inf(1)
+			case "-Inf":
+				out[i] = math.Inf(-1)
+			default:
+				return fmt.Errorf("hpo: invalid float sentinel %q", s)
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(string(r), 64)
+		if err != nil {
+			return fmt.Errorf("hpo: invalid float %q: %w", r, err)
+		}
+		out[i] = v
+	}
+	*f = out
+	return nil
+}
+
 // savedIndividual is the JSON form of one evaluated individual.  Rank and
-// crowding distance are omitted (recomputable, and +Inf is not valid
-// JSON).
+// crowding distance are omitted (recomputable; see JSONFloats for why
+// fitness gets the sentinel treatment instead).
 type savedIndividual struct {
-	ID        string    `json:"id"`
-	Genome    []float64 `json:"genome"`
-	Fitness   []float64 `json:"fitness"`
-	Err       string    `json:"err,omitempty"`
-	RuntimeMS int64     `json:"runtime_ms"`
-	Birth     int       `json:"birth"`
+	ID        string      `json:"id"`
+	Genome    JSONFloats `json:"genome"`
+	Fitness   JSONFloats `json:"fitness"`
+	Err       string      `json:"err,omitempty"`
+	RuntimeMS int64       `json:"runtime_ms"`
+	Birth     int         `json:"birth"`
 }
 
 type savedGeneration struct {
@@ -61,8 +135,8 @@ func SaveCampaign(w io.Writer, c *CampaignResult) error {
 			for _, ind := range gen.Evaluated {
 				si := savedIndividual{
 					ID:        ind.ID.String(),
-					Genome:    ind.Genome,
-					Fitness:   ind.Fitness,
+					Genome:    JSONFloats(ind.Genome),
+					Fitness:   JSONFloats(ind.Fitness),
 					RuntimeMS: ind.Runtime.Milliseconds(),
 					Birth:     ind.Birth,
 				}
@@ -129,8 +203,8 @@ func LoadCampaign(r io.Reader) (*CampaignResult, error) {
 				}
 				ind := &ea.Individual{
 					ID:        id,
-					Genome:    si.Genome,
-					Fitness:   si.Fitness,
+					Genome:    ea.Genome(si.Genome),
+					Fitness:   ea.Fitness(si.Fitness),
 					Evaluated: true,
 					Runtime:   time.Duration(si.RuntimeMS) * time.Millisecond,
 					Birth:     si.Birth,

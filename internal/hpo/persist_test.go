@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/ea"
+	"repro/internal/nsga2"
 )
 
 // persistEval is a cheap stand-in evaluator with occasional failures
@@ -134,6 +135,61 @@ func TestCampaignErrorsPreserved(t *testing.T) {
 	}
 	if !ind.Fitness.IsFailure() {
 		t.Error("failure fitness not preserved")
+	}
+}
+
+// TestNonFiniteFitnessRoundTrip is the regression test for the
+// persistence bug: json.Marshal rejects ±Inf/NaN outright, so a campaign
+// holding even one individual with a non-finite fitness — exactly what a
+// diverged or cancelled evaluation leaves behind — could not be saved or
+// resumed at all.  Non-finite values must round-trip bit-faithfully
+// through the string sentinels.
+func TestNonFiniteFitnessRoundTrip(t *testing.T) {
+	mk := func(fit ea.Fitness) *ea.Individual {
+		ind := ea.NewIndividual(ea.Genome{1.5, -2.25, 0.875})
+		ind.Fitness = fit
+		ind.Evaluated = true
+		return ind
+	}
+	inds := []*ea.Individual{
+		mk(ea.Fitness{math.Inf(1), math.NaN()}),
+		mk(ea.Fitness{math.Inf(-1), 3.0625}),
+		mk(ea.Fitness{0.1, 0.2}), // finite control
+		mk(ea.FailureFitness(2)), // MAXINT sentinel (finite, must stay exact)
+	}
+	orig := &CampaignResult{Runs: []*nsga2.Result{{
+		Generations: []nsga2.GenerationRecord{{
+			Gen:       0,
+			Evaluated: inds,
+			Survivors: ea.Population{inds[2]},
+		}},
+		Final: ea.Population{inds[2]},
+	}}}
+
+	var buf bytes.Buffer
+	if err := SaveCampaign(&buf, orig); err != nil {
+		t.Fatalf("SaveCampaign with non-finite fitness: %v", err)
+	}
+	got, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatalf("LoadCampaign: %v", err)
+	}
+	loaded := got.Runs[0].Generations[0].Evaluated
+	if len(loaded) != len(inds) {
+		t.Fatalf("loaded %d individuals, want %d", len(loaded), len(inds))
+	}
+	for i, want := range inds {
+		for k := range want.Fitness {
+			w, g := want.Fitness[k], loaded[i].Fitness[k]
+			if math.IsNaN(w) != math.IsNaN(g) || (!math.IsNaN(w) && w != g) {
+				t.Errorf("individual %d objective %d: %v -> %v", i, k, w, g)
+			}
+		}
+		for k := range want.Genome {
+			if want.Genome[k] != loaded[i].Genome[k] {
+				t.Errorf("individual %d gene %d: %v -> %v", i, k, want.Genome[k], loaded[i].Genome[k])
+			}
+		}
 	}
 }
 

@@ -62,7 +62,7 @@ func ResumeCampaign(ctx context.Context, prev *CampaignResult, cfg CampaignConfi
 			AnnealFactor: anneal,
 			Evaluator:    cfg.Evaluator,
 			Pool:         poolFromConfig(cfg),
-			Seed:         cfg.BaseSeed + int64(runIdx) + 7919, // decorrelate from the first leg
+			Seed:         ResumeSeed(cfg.BaseSeed, runIdx, gensDone),
 			Initial:      run.Final,
 		})
 		if err != nil {
@@ -81,6 +81,36 @@ func ResumeCampaign(ctx context.Context, prev *CampaignResult, cfg CampaignConfi
 		out.Runs = append(out.Runs, combined)
 	}
 	return out, nil
+}
+
+// ResumeSeed derives the mutation-RNG seed for one resume leg from the
+// campaign base seed, the run index and the number of generations the run
+// has already completed.  Folding gensDone in is what makes chained legs
+// statistically independent: a seed that depends only on (BaseSeed,
+// runIdx) — as the original `BaseSeed + runIdx + 7919` did — hands every
+// resume leg of the same run the identical RNG stream, so a campaign
+// chained across three 12-hour jobs mutates with the same noise in legs
+// two and three that it used in leg one.  The splitmix64 finalizer chain
+// also removes the additive-offset collisions the fixed `+7919` had with
+// first-leg seeds (`BaseSeed + runIdx'`) in wide campaigns.
+func ResumeSeed(base int64, runIdx, gensDone int) int64 {
+	z := splitmix64(uint64(base) + 0x9e3779b97f4a7c15)
+	z = splitmix64(z + uint64(runIdx))
+	z = splitmix64(z + uint64(gensDone))
+	return int64(z)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix, so
+// distinct (base, runIdx, gensDone) triples cannot collide by simple
+// integer offsets.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 func poolFromConfig(cfg CampaignConfig) ea.PoolConfig {

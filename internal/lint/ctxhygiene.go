@@ -22,7 +22,8 @@ var CtxHygiene = &Analyzer{
 }
 
 func runCtxHygiene(pass *Pass) {
-	checkSends := basePkgName(pass) == "cluster"
+	pkg := basePkgName(pass)
+	checkSends := pkg == "cluster" || pkg == "service"
 	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
 		switch node := n.(type) {
 		case *ast.StructType:

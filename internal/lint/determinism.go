@@ -21,6 +21,10 @@ var deterministicPkgs = map[string]bool{
 	"blas":       true,
 	"refcheck":   true,
 	"stream":     true,
+	// service owes clients restart-invariant campaigns: the same spec
+	// must produce byte-identical frontiers across process bounces, so a
+	// stray clock or map-order leak in it breaks the resume contract.
+	"service": true,
 }
 
 // Determinism flags nondeterminism sources in deterministic packages:

@@ -15,6 +15,10 @@ var errDiscardPkgs = map[string]bool{
 	"npy":     true,
 	"dataset": true,
 	"stream":  true,
+	// service writes campaign checkpoints and HTTP responses; a dropped
+	// write error there is a silently lost generation or a half-sent
+	// frontier.
+	"service": true,
 }
 
 // ErrDiscard flags discarded errors on I/O, network and encode paths in

@@ -92,10 +92,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		lp := p
 		pkgs = append(pkgs, &lp)
 		if lp.Export != "" {
-			if lp.ForTest != "" {
-				testExports[lp.ForTest] = lp.Export
-			} else {
+			switch {
+			case lp.ForTest == "":
 				exports[lp.ImportPath] = lp.Export
+			case strings.HasPrefix(lp.ImportPath, lp.ForTest+" ["):
+				// Only the in-package variant `P [P.test]` provides P's
+				// test-augmented export data.  The external test package
+				// `P_test [P.test]` shares the same ForTest but exports
+				// package P_test — recording it here would shadow P and
+				// break every import of P from its own external tests.
+				testExports[lp.ForTest] = lp.Export
 			}
 		}
 	}

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// logf emits one structured key=value line through cfg.Logf: the event
+// name first, then alternating key/value pairs.  Values are formatted
+// with %v and quoted when they contain spaces, so lines stay
+// grep-and-split friendly: `campaign_done id=3f2a… tenant=alice`.
+func (s *Service) logf(event string, kv ...interface{}) {
+	if s.cfg.Logf == nil {
+		return
+	}
+	s.cfg.Logf("%s", formatKV(event, kv...))
+}
+
+func formatKV(event string, kv ...interface{}) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		val := fmt.Sprintf("%v", kv[i+1])
+		if strings.ContainsAny(val, " \t\n\"=") {
+			val = fmt.Sprintf("%q", val)
+		}
+		fmt.Fprintf(&b, " %v=%s", kv[i], val)
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(&b, " !dangling=%v", kv[len(kv)-1])
+	}
+	return b.String()
+}

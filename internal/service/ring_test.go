@@ -1,0 +1,77 @@
+package service_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestRingSequenceAndEviction(t *testing.T) {
+	r := service.NewRing(4)
+	for i := 0; i < 6; i++ {
+		e := r.Append(service.Event{Type: "gen"})
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("append %d got seq %d", i, e.Seq)
+		}
+	}
+	evs := r.Since(0)
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 holds %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("event %d: seq %d, want %d (oldest two evicted)", i, e.Seq, i+3)
+		}
+	}
+	if got := r.Since(5); len(got) != 1 || got[0].Seq != 6 {
+		t.Fatalf("Since(5) = %+v, want single seq-6 event", got)
+	}
+	if got := r.Since(6); len(got) != 0 {
+		t.Fatalf("Since(6) = %+v, want empty", got)
+	}
+}
+
+func TestRingNextWakesOnAppend(t *testing.T) {
+	r := service.NewRing(8)
+	done := make(chan []service.Event, 1)
+	go func() {
+		evs, err := r.Next(context.Background(), 0)
+		if err != nil {
+			t.Errorf("Next: %v", err)
+		}
+		done <- evs
+	}()
+	// Next may or may not be blocked yet; Append's close-and-replace wake
+	// guarantees no lost wakeup either way.
+	r.Append(service.Event{Type: "created"})
+	select {
+	case evs := <-done:
+		if len(evs) != 1 || evs[0].Type != "created" {
+			t.Fatalf("woke with %+v", evs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next never woke after Append")
+	}
+}
+
+func TestRingNextHonorsContext(t *testing.T) {
+	r := service.NewRing(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := r.Next(ctx, 0); err == nil {
+		t.Fatal("Next on an empty ring must fail when ctx expires")
+	}
+}
+
+func TestRingWaitChCapturedBeforeSince(t *testing.T) {
+	r := service.NewRing(8)
+	ch := r.WaitCh()
+	r.Append(service.Event{Type: "x"})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("channel captured before Append must be closed by it")
+	}
+}
