@@ -7,8 +7,14 @@
 // Usage:
 //
 //	cluster -mode scheduler [-addr 127.0.0.1:7077] [-lease 10m] [-stats 30s] [-events]
-//	cluster -mode worker    [-addr 127.0.0.1:7077] [-name w0] [-seed 2023] [-task-timeout 2h] [-heartbeat 15s]
-//	cluster -mode drive     [-addr 127.0.0.1:7077] [-runs 1] [-pop 20] [-gens 3]
+//	cluster -mode worker    [-addr 127.0.0.1:7077] [-name w0] [-seed 2023] [-task-timeout 2h] [-heartbeat 15s] [-transport binary|json]
+//	cluster -mode drive     [-addr 127.0.0.1:7077] [-runs 1] [-pop 20] [-gens 3] [-transport binary|json]
+//
+// Workers and drivers frame their connection with the length-prefixed
+// binary wire protocol by default; -transport json selects the legacy
+// JSON framing.  The scheduler needs no flag — it sniffs the first byte
+// of each connection and speaks whichever framing the peer chose, so
+// mixed fleets interoperate.
 //
 // The scheduler prints its Stats line every -stats interval and, on
 // Unix, dumps aggregate plus per-worker counters on SIGUSR1.  Workers
@@ -47,7 +53,13 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 15*time.Second, "worker: lease-renewal interval while executing; 0 disables")
 	maxReconnects := flag.Int("max-reconnects", 0, "worker: consecutive failed re-dials before giving up; 0 retries forever")
 	noMemo := flag.Bool("no-memo", false, "drive: disable genome-keyed fitness memoization")
+	transport := flag.String("transport", "binary", "worker/drive: connection framing, binary or json (scheduler auto-negotiates)")
 	flag.Parse()
+
+	tr, err := cluster.ParseTransport(*transport)
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -66,6 +78,7 @@ func main() {
 		fmt.Printf("scheduler listening on %s (Ctrl-C to stop)\n", sched.Addr())
 		dump := func() {
 			log.Printf("stats: %s", sched)
+			log.Printf("%s", sched.Wire())
 			for _, ws := range sched.WorkerStats() {
 				log.Printf("stats: %s", ws)
 			}
@@ -92,7 +105,7 @@ func main() {
 
 	case "worker":
 		ev := surrogate.NewEvaluator(surrogate.Config{Seed: *seed})
-		w, err := cluster.NewWorker(*addr, *name, cluster.EvalHandler(ev))
+		w, err := cluster.NewWorkerTransport(*addr, *name, cluster.EvalHandler(ev), tr)
 		if err != nil {
 			log.Fatalf("worker: %v", err)
 		}
@@ -106,7 +119,7 @@ func main() {
 		}
 
 	case "drive":
-		client, err := cluster.NewClient(*addr)
+		client, err := cluster.NewClientTransport(*addr, tr)
 		if err != nil {
 			log.Fatalf("client: %v", err)
 		}

@@ -9,7 +9,7 @@
 //
 //	serve [-addr 127.0.0.1:8080] [-checkpoint-dir DIR]
 //	      [-backend local|remote] [-workers 4] [-scheduler-addr HOST:PORT]
-//	      [-seed 2023] [-lease 10m] [-no-memo]
+//	      [-seed 2023] [-lease 10m] [-transport binary|json] [-no-memo]
 //	      [-max-concurrent 4] [-max-active-per-tenant 2]
 //	      [-max-campaigns-per-tenant 16] [-max-inflight-per-tenant 64]
 //	      [-drain-timeout 30s]
@@ -53,6 +53,7 @@ func main() {
 	schedulerAddr := flag.String("scheduler-addr", "127.0.0.1:7077", "remote backend: scheduler address")
 	seed := flag.Int64("seed", 2023, "local backend: surrogate model seed")
 	lease := flag.Duration("lease", 10*time.Minute, "local backend: per-task lease; 0 disables")
+	transport := flag.String("transport", "binary", "cluster framing: binary (length-prefixed wire protocol) or json (compatibility)")
 	noMemo := flag.Bool("no-memo", false, "disable the shared genome-keyed memo cache")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for campaign checkpoints; empty disables persistence")
 	maxConcurrent := flag.Int("max-concurrent", 4, "campaigns running at once, all tenants combined")
@@ -62,14 +63,18 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight legs to checkpoint on shutdown")
 	flag.Parse()
 
-	if err := run(*addr, *backend, *workers, *schedulerAddr, *seed, *lease, *noMemo,
+	tr, err := cluster.ParseTransport(*transport)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	if err := run(*addr, *backend, *workers, *schedulerAddr, *seed, *lease, tr, *noMemo,
 		*checkpointDir, *maxConcurrent, *maxActive, *maxCampaigns, *maxInflight, *drainTimeout); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 }
 
 func run(addr, backend string, workers int, schedulerAddr string, seed int64,
-	lease time.Duration, noMemo bool, checkpointDir string,
+	lease time.Duration, transport cluster.Transport, noMemo bool, checkpointDir string,
 	maxConcurrent, maxActive, maxCampaigns, maxInflight int, drainTimeout time.Duration) error {
 
 	var events cluster.EventCounters
@@ -86,7 +91,8 @@ func run(addr, backend string, workers int, schedulerAddr string, seed int64,
 
 	switch backend {
 	case "local":
-		lc, err := cluster.NewLocalCluster(workers, cluster.EvalHandler(surrogate.NewEvaluator(surrogate.Config{Seed: seed})), lease)
+		lc, err := cluster.NewLocalCluster(workers, cluster.EvalHandler(surrogate.NewEvaluator(surrogate.Config{Seed: seed})), lease,
+			cluster.WithTransport(transport))
 		if err != nil {
 			return fmt.Errorf("local fleet: %w", err)
 		}
@@ -100,8 +106,9 @@ func run(addr, backend string, workers int, schedulerAddr string, seed int64,
 		cfg.SchedulerStats = func() (cluster.Stats, []cluster.WorkerStats) {
 			return lc.Scheduler.Stats(), lc.Scheduler.WorkerStats()
 		}
+		cfg.SchedulerWire = lc.Scheduler.Wire
 	case "remote":
-		client, err := cluster.NewClient(schedulerAddr)
+		client, err := cluster.NewClientTransport(schedulerAddr, transport)
 		if err != nil {
 			return fmt.Errorf("connecting scheduler %s: %w", schedulerAddr, err)
 		}
@@ -112,6 +119,7 @@ func run(addr, backend string, workers int, schedulerAddr string, seed int64,
 		}()
 		client.Logf = log.Printf
 		cfg.Evaluator = &cluster.Evaluator{Client: client}
+		cfg.SchedulerWire = client.Wire
 	default:
 		return fmt.Errorf("unknown backend %q (want local or remote)", backend)
 	}

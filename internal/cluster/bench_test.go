@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // BenchmarkTaskRoundTrip measures one submit→assign→result cycle through
@@ -69,3 +71,135 @@ func BenchmarkMessageFraming(b *testing.B) {
 type discardBuffer struct{}
 
 func (discardBuffer) Write(p []byte) (int, error) { return len(p), nil }
+
+// benchPayload is a campaign-realistic task body: a 512-gene genome,
+// the size class a wide hyperparameter search with per-layer knobs and
+// an inlined training config ships per evaluation (~6 KiB of JSON).
+// Framing cost scales with payload size — the JSON codec must scan
+// every byte of the embedded RawMessage to find its end, the binary
+// codec just copies a length-prefixed region — so the payload size
+// class is the main lever on the cross-transport ratio.
+func benchPayload() json.RawMessage {
+	var sb bytes.Buffer
+	sb.WriteString(`{"genome":[`)
+	for i := 0; i < 512; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%.6f", float64(i)*0.125-4)
+	}
+	sb.WriteString(`]}`)
+	return sb.Bytes()
+}
+
+// BenchmarkCodecRoundTrip pins the per-frame cost of each codec in
+// isolation: one submit message encoded and decoded through an in-memory
+// stream, no scheduler and no sockets.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	m := &message{Type: msgSubmit, TaskID: "0123456789abcdef", Payload: benchPayload()}
+	for _, tr := range []Transport{TransportBinary, TransportJSON} {
+		b.Run("transport="+tr.String(), func(b *testing.B) {
+			var buf bytes.Buffer
+			var wc wireCounters
+			cd := newCodec(tr, &buf, &buf, &wc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := cd.write(m); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cd.read(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchScheduler measures sustained submit→assign→result throughput with
+// a pool of echo workers, over loopback TCP or through the chaos proxy's
+// extra hop, on either framing.  ns/op is the wall cost of one task at
+// saturation; bench.sh divides the JSON and binary numbers per
+// configuration into the sched_throughput_speedup_vs_json section of
+// BENCH_7.json.
+func benchScheduler(b *testing.B, workers int, tr Transport, viaProxy bool) {
+	sched, err := NewScheduler("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sched.Close()
+	addr := sched.Addr()
+	if viaProxy {
+		addr = newChaosProxy(b, addr).Addr()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pool := make([]*Worker, 0, workers)
+	for i := 0; i < workers; i++ {
+		w, err := NewWorkerTransport(addr, fmt.Sprintf("w%d", i), echoHandler, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		pool = append(pool, w)
+		go func() { _ = w.Run(ctx) }()
+	}
+	for sched.Stats().Workers < int64(workers) {
+		time.Sleep(time.Millisecond)
+	}
+	client, err := NewClientTransport(addr, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	payload := benchPayload()
+	inflight := 2 * workers
+	if inflight > 256 {
+		inflight = 256
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := client.Submit(ctx, payload); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	_ = pool
+}
+
+// BenchmarkSchedulerThroughput is the headline grid: task throughput by
+// worker-pool size and framing over plain loopback.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for _, workers := range []int{1, 10, 100, 500} {
+		for _, tr := range []Transport{TransportBinary, TransportJSON} {
+			b.Run(fmt.Sprintf("workers=%d/transport=%v", workers, tr), func(b *testing.B) {
+				benchScheduler(b, workers, tr, false)
+			})
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughputChaos repeats the mid-size grid points
+// through the chaos proxy (no faults armed), paying one extra TCP hop
+// per direction — closer to a real network path than bare loopback.
+func BenchmarkSchedulerThroughputChaos(b *testing.B) {
+	for _, workers := range []int{10, 100} {
+		for _, tr := range []Transport{TransportBinary, TransportJSON} {
+			b.Run(fmt.Sprintf("workers=%d/transport=%v", workers, tr), func(b *testing.B) {
+				benchScheduler(b, workers, tr, true)
+			})
+		}
+	}
+}

@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster/wire"
 	"repro/internal/ea"
 	"repro/internal/nsga2"
 )
@@ -36,6 +38,7 @@ type chaosProxy struct {
 	blackhole bool          // swallow all forwarded bytes (peers see a hang)
 	delay     time.Duration // added before each forwarded chunk
 	truncate  int           // >0: forward this many more bytes toward the target side, then cut
+	mutate    func([]byte)  // applied in place to the next toward-target chunk, then disarmed
 	closed    bool
 }
 
@@ -51,7 +54,7 @@ func (p *chaosPipe) close() {
 	})
 }
 
-func newChaosProxy(t *testing.T, target string) *chaosProxy {
+func newChaosProxy(t testing.TB, target string) *chaosProxy {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -112,9 +115,16 @@ func (cp *chaosProxy) forward(dst, src net.Conn, pipe *chaosPipe, towardTarget b
 					cp.truncate -= n
 				}
 			}
+			var mutate func([]byte)
+			if towardTarget && cp.mutate != nil {
+				mutate, cp.mutate = cp.mutate, nil
+			}
 			cp.mu.Unlock()
 			if delay > 0 {
 				time.Sleep(delay)
+			}
+			if mutate != nil {
+				mutate(buf[:limit])
 			}
 			if !blackhole {
 				if _, werr := dst.Write(buf[:limit]); werr != nil {
@@ -155,6 +165,15 @@ func (cp *chaosProxy) SetBlackhole(on bool) {
 func (cp *chaosProxy) SetDelay(d time.Duration) {
 	cp.mu.Lock()
 	cp.delay = d
+	cp.mu.Unlock()
+}
+
+// MutateNext applies f (in place) to the next toward-target chunk, then
+// disarms — a single corrupted frame on an otherwise healthy link, for
+// flipped length prefixes and bad magic bytes.
+func (cp *chaosProxy) MutateNext(f func([]byte)) {
+	cp.mu.Lock()
+	cp.mutate = f
 	cp.mu.Unlock()
 }
 
@@ -402,13 +421,13 @@ func TestWorkerCancellationIsNotATimeout(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 		cancel()
 	}()
-	if res := w.execute(ctx, a, &message{Type: msgAssign, TaskID: "x"}); res != nil {
+	if res := w.execute(ctx, dialCodec(TransportBinary, a, &w.wire), &message{Type: msgAssign, TaskID: "x"}); res != nil {
 		t.Errorf("cancelled task produced result %+v, want nil (propagated shutdown)", res)
 	}
 
 	// Case 2: per-task deadline with live parent → timeout failure result.
 	w2 := &Worker{Name: "t2", Handler: blocker, TaskTimeout: 20 * time.Millisecond}
-	res := w2.execute(context.Background(), a, &message{Type: msgAssign, TaskID: "y"})
+	res := w2.execute(context.Background(), dialCodec(TransportBinary, a, &w2.wire), &message{Type: msgAssign, TaskID: "y"})
 	if res == nil || !strings.Contains(res.Err, "timed out") {
 		t.Errorf("timed-out task result = %+v, want timeout error", res)
 	}
@@ -583,6 +602,101 @@ func TestChaosTruncatedResultFrame(t *testing.T) {
 	if calls.Load() < 2 {
 		t.Errorf("task executed %d times, want >= 2 (original + requeue)", calls.Load())
 	}
+	if ws := sched.Wire(); ws.DecodeErrors == 0 {
+		t.Errorf("mid-frame cut not counted as a decode error: %v", ws)
+	}
+}
+
+// TestChaosCorruptedFrameDropsConnNotCampaign corrupts a single result
+// frame in flight — flipped length prefix or bad magic, over both
+// framings — and verifies the blast radius is exactly one connection:
+// the scheduler counts a decode error and drops the worker connection,
+// the worker reconnects, the task is requeued and completes, and the
+// untouched client connection never notices.
+func TestChaosCorruptedFrameDropsConnNotCampaign(t *testing.T) {
+	cases := []struct {
+		name    string
+		tr      Transport
+		corrupt func([]byte)
+	}{
+		{"binary_bad_magic", TransportBinary, func(b []byte) { b[0] = 0x00 }},
+		{"binary_length_flip", TransportBinary, func(b []byte) {
+			if len(b) >= wire.HeaderSize {
+				binary.BigEndian.PutUint32(b[6:10], 0xFFFFFFFF)
+			}
+		}},
+		{"json_length_flip", TransportJSON, func(b []byte) {
+			if len(b) >= 4 {
+				binary.BigEndian.PutUint32(b[0:4], 0xFFFFFFFF)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, err := NewScheduler("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sched.Close()
+			proxy := newChaosProxy(t, sched.Addr())
+
+			var calls atomic.Int64
+			handler := func(_ context.Context, payload json.RawMessage) (json.RawMessage, error) {
+				calls.Add(1)
+				return payload, nil
+			}
+			w, err := NewWorkerTransport(proxy.Addr(), "victim", handler, tc.tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.ReconnectInitial = 10 * time.Millisecond
+			defer w.Close()
+			go func() { _ = w.Run(context.Background()) }()
+
+			client, err := NewClientTransport(sched.Addr(), tc.tr) // direct, unproxied
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+
+			deadline := time.Now().Add(2 * time.Second)
+			for sched.Stats().Workers == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("worker never registered through proxy")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			// Corrupt the worker's next frame toward the scheduler — its
+			// result for the submission below.
+			proxy.MutateNext(tc.corrupt)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			out, err := client.Submit(ctx, json.RawMessage(`{"x":7}`))
+			if err != nil {
+				t.Fatalf("campaign did not survive a corrupted frame: %v", err)
+			}
+			if string(out) != `{"x":7}` {
+				t.Errorf("result = %s", out)
+			}
+			if ws := sched.Wire(); ws.DecodeErrors == 0 {
+				t.Errorf("corruption not counted as a decode error: %v", ws)
+			}
+			if calls.Load() < 2 {
+				t.Errorf("task executed %d times, want >= 2 (original + requeue after drop)", calls.Load())
+			}
+			st := sched.Stats()
+			if st.Completed+st.Failed != st.Submitted {
+				t.Errorf("books don't balance after corruption: %+v", st)
+			}
+			// Exactly one client connection was ever dialed: the corruption
+			// cost the worker's connection, nobody else's.
+			cw := client.Wire()
+			if conns := cw.BinaryConns + cw.JSONConns; conns != 1 {
+				t.Errorf("client dialed %d connections, want 1 (its connection must survive)", conns)
+			}
+		})
+	}
 }
 
 // TestChaosClientReconnectResubmits cuts the client↔scheduler link while
@@ -722,7 +836,8 @@ func paretoSize(pop ea.Population) int {
 // killed and restarted mid-flight.  Workers reconnect with backoff, the
 // client resubmits its in-flight generation, and the campaign finishes
 // with the exact frontier a local run produces — no spurious MAXINT
-// failures anywhere.
+// failures anywhere.  Both framings must deliver the bit-identical
+// frontier.
 func TestSchedulerBounceMidCampaign(t *testing.T) {
 	// Reference: the same campaign evaluated in-process.
 	ref, err := nsga2.Run(context.Background(), bounceCampaignConfig(ea.EvaluatorFunc(clusterEval)))
@@ -730,69 +845,73 @@ func TestSchedulerBounceMidCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sched, err := NewScheduler("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := sched.Addr()
-
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	var workers []*Worker
-	for i := 0; i < 4; i++ {
-		w, err := NewWorker(addr, fmt.Sprintf("w%d", i), EvalHandler(ea.EvaluatorFunc(clusterEval)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		w.ReconnectInitial = 10 * time.Millisecond
-		workers = append(workers, w)
-		go func() { _ = w.Run(ctx) }()
-	}
-	defer func() {
-		for _, w := range workers {
-			w.Close()
-		}
-	}()
-
-	client, err := NewClient(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	client.ReconnectInitial = 10 * time.Millisecond
-	client.MaxReconnects = 200
-	defer client.Close()
-
-	// Bounce the scheduler once the campaign is under way.
-	bounced := make(chan *Scheduler, 1)
-	go func() {
-		time.Sleep(60 * time.Millisecond)
-		sched.Close()
-		bounced <- restartScheduler(t, addr)
-	}()
-
-	res, err := nsga2.Run(ctx, bounceCampaignConfig(&Evaluator{Client: client}))
-	if err != nil {
-		t.Fatalf("campaign failed across scheduler bounce: %v", err)
-	}
-	sched2 := <-bounced
-	defer sched2.Close()
-
-	if got := res.TotalFailures(); got != 0 {
-		t.Errorf("bounced campaign recorded %d spurious failures", got)
-	}
-	if got, want := res.TotalEvaluations(), ref.TotalEvaluations(); got != want {
-		t.Errorf("evaluations = %d, want %d", got, want)
-	}
-	if got, want := paretoSize(res.Final), paretoSize(ref.Final); got != want {
-		t.Errorf("frontier size after bounce = %d, want %d (reference run)", got, want)
-	}
-	for i, ind := range res.Final {
-		refInd := ref.Final[i]
-		for k := range ind.Fitness {
-			if ind.Fitness[k] != refInd.Fitness[k] {
-				t.Fatalf("final[%d].Fitness[%d] = %v, want %v", i, k, ind.Fitness[k], refInd.Fitness[k])
+	for _, tr := range []Transport{TransportBinary, TransportJSON} {
+		t.Run(tr.String(), func(t *testing.T) {
+			sched, err := NewScheduler("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			addr := sched.Addr()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			var workers []*Worker
+			for i := 0; i < 4; i++ {
+				w, err := NewWorkerTransport(addr, fmt.Sprintf("w%d", i), EvalHandler(ea.EvaluatorFunc(clusterEval)), tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.ReconnectInitial = 10 * time.Millisecond
+				workers = append(workers, w)
+				go func() { _ = w.Run(ctx) }()
+			}
+			defer func() {
+				for _, w := range workers {
+					w.Close()
+				}
+			}()
+
+			client, err := NewClientTransport(addr, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			client.ReconnectInitial = 10 * time.Millisecond
+			client.MaxReconnects = 200
+			defer client.Close()
+
+			// Bounce the scheduler once the campaign is under way.
+			bounced := make(chan *Scheduler, 1)
+			go func() {
+				time.Sleep(60 * time.Millisecond)
+				sched.Close()
+				bounced <- restartScheduler(t, addr)
+			}()
+
+			res, err := nsga2.Run(ctx, bounceCampaignConfig(&Evaluator{Client: client}))
+			if err != nil {
+				t.Fatalf("campaign failed across scheduler bounce: %v", err)
+			}
+			sched2 := <-bounced
+			defer sched2.Close()
+
+			if got := res.TotalFailures(); got != 0 {
+				t.Errorf("bounced campaign recorded %d spurious failures", got)
+			}
+			if got, want := res.TotalEvaluations(), ref.TotalEvaluations(); got != want {
+				t.Errorf("evaluations = %d, want %d", got, want)
+			}
+			if got, want := paretoSize(res.Final), paretoSize(ref.Final); got != want {
+				t.Errorf("frontier size after bounce = %d, want %d (reference run)", got, want)
+			}
+			for i, ind := range res.Final {
+				refInd := ref.Final[i]
+				for k := range ind.Fitness {
+					if ind.Fitness[k] != refInd.Fitness[k] {
+						t.Fatalf("final[%d].Fitness[%d] = %v, want %v", i, k, ind.Fitness[k], refInd.Fitness[k])
+					}
+				}
+			}
+		})
 	}
 }
 

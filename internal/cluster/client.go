@@ -40,10 +40,13 @@ type Client struct {
 	// Logf, if non-nil, receives diagnostic output.
 	Logf func(format string, args ...interface{})
 
-	addr string
+	addr      string
+	transport Transport
+	wire      wireCounters
 
-	mu      sync.Mutex // guards conn writes, waiters, readErr, closed
+	mu      sync.Mutex // guards conn/cd writes, waiters, readErr, closed
 	conn    net.Conn
+	cd      codec
 	waiters map[string]*pendingCall
 	readErr error
 	closed  bool
@@ -55,8 +58,14 @@ type Client struct {
 	// (ReconnectInitial etc.) may be set freely between NewClient and use
 }
 
-// NewClient dials the scheduler.
+// NewClient dials the scheduler over the default binary framing.
 func NewClient(addr string) (*Client, error) {
+	return NewClientTransport(addr, TransportBinary)
+}
+
+// NewClientTransport dials the scheduler, speaking the given framing for
+// the life of the client (reconnections included).
+func NewClientTransport(addr string, tr Transport) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -64,13 +73,19 @@ func NewClient(addr string) (*Client, error) {
 	c := &Client{
 		MaxReconnects: 10,
 		addr:          addr,
+		transport:     tr,
 		conn:          conn,
 		waiters:       make(map[string]*pendingCall),
 		closeCh:       make(chan struct{}),
 		done:          make(chan struct{}),
 	}
+	c.cd = dialCodec(tr, conn, &c.wire)
 	return c, nil
 }
+
+// Wire returns a snapshot of the client's transport counters across all
+// connections it has dialed.
+func (c *Client) Wire() WireStats { return c.wire.snapshot() }
 
 func (c *Client) logf(format string, args ...interface{}) {
 	if c.Logf != nil {
@@ -85,9 +100,9 @@ func (c *Client) readLoop() {
 	bo := newBackoff(c.ReconnectInitial, c.ReconnectMax)
 	for {
 		c.mu.Lock()
-		conn := c.conn
+		cd := c.cd
 		c.mu.Unlock()
-		m, err := readMessage(conn)
+		m, err := cd.read()
 		if err == nil {
 			c.mu.Lock()
 			pc, ok := c.waiters[m.TaskID]
@@ -161,13 +176,14 @@ func (c *Client) adopt(conn net.Conn) error {
 	}
 	old := c.conn
 	c.conn = conn
+	c.cd = dialCodec(c.transport, conn, &c.wire)
 	if old != nil && old != conn {
 		//lint:ignore errdiscard best-effort: the stale conn was already replaced by the reconnect; its close error is unactionable
 		old.Close()
 	}
 	n := 0
 	for id, pc := range c.waiters {
-		if err := writeMessage(conn, &message{Type: msgSubmit, TaskID: id, Payload: pc.payload}); err != nil {
+		if err := c.cd.write(&message{Type: msgSubmit, TaskID: id, Payload: pc.payload}); err != nil {
 			return err
 		}
 		n++
@@ -221,7 +237,7 @@ func (c *Client) Submit(ctx context.Context, payload json.RawMessage) (json.RawM
 	// A write error is not reported here: the read loop will observe the
 	// same broken connection and resubmit this call after reconnecting.
 	//lint:ignore errdiscard the read loop observes the same broken conn and resubmits; handling here would double-report
-	_ = writeMessage(c.conn, &message{Type: msgSubmit, TaskID: id, Payload: payload})
+	_ = c.cd.write(&message{Type: msgSubmit, TaskID: id, Payload: payload})
 	c.mu.Unlock()
 
 	select {

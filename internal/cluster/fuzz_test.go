@@ -3,8 +3,12 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"runtime"
+	"strings"
 	"testing"
+
+	"repro/internal/cluster/wire"
 )
 
 // FuzzProtoDecode feeds arbitrary bytes to the wire-format decoder.
@@ -46,6 +50,99 @@ func FuzzProtoDecode(f *testing.F) {
 		}
 		if m2.Type != m.Type || m2.TaskID != m.TaskID || m2.Name != m.Name || m2.Err != m.Err {
 			t.Fatalf("round trip changed message: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// clampUTF8 bounds s to at most n bytes of valid UTF-8.  Both framings
+// must agree on the value they carry, and JSON marshaling replaces
+// invalid sequences while the binary codec preserves raw bytes — so the
+// differential fuzz only feeds values both can represent.
+func clampUTF8(s string, n int) string {
+	s = strings.ToValidUTF8(s, "?")
+	if len(s) > n {
+		s = strings.ToValidUTF8(s[:n], "")
+	}
+	return s
+}
+
+// FuzzTransportDifferential is the cross-transport oracle: one message,
+// encoded and decoded through the binary codec and through the JSON
+// codec, must come out semantically identical on both paths.  Any field
+// one framing drops, reorders or mangles that the other keeps is a bug
+// in the binary codec (the JSON path is the reference).
+func FuzzTransportDifferential(f *testing.F) {
+	f.Add(byte(0), byte(1), "", "worker-0", "", []byte(nil), uint64(0), uint64(0), "")
+	f.Add(byte(1), byte(0), "task-1", "", "", []byte(`{"genome":[0.5,-1.5]}`), uint64(0), uint64(0), "")
+	f.Add(byte(2), byte(0), "task-2", "", "", []byte(`{"genome":[1]}`), uint64(0), uint64(0), "")
+	f.Add(byte(3), byte(0), "task-3", "", "diverged", []byte(`{"fitness":[2.5]}`), uint64(0), uint64(0), "")
+	f.Add(byte(4), byte(0), "task-4", "", "", []byte(nil), uint64(0), uint64(0), "")
+	f.Add(byte(5), byte(0), "", "", "", []byte(nil), uint64(981), uint64(12), "lease-a")
+
+	f.Fuzz(func(t *testing.T, typ, flags byte, taskID, name, errStr string, payload []byte, epoch, pending uint64, lease string) {
+		types := []msgType{msgRegister, msgSubmit, msgAssign, msgResult, msgHeartbeat, msgSnapshot}
+		m := &message{Type: types[int(typ)%len(types)], Flags: flags}
+		// Populate only the fields the message type carries on the binary
+		// wire; the JSON framing would happily ship the rest, which is a
+		// format difference, not a codec bug.
+		switch m.Type {
+		case msgRegister:
+			m.Name = clampUTF8(name, 1<<10)
+		case msgSubmit, msgAssign, msgResult, msgHeartbeat:
+			m.TaskID = clampUTF8(taskID, wire.MaxTaskID)
+		}
+		if m.Type == msgSubmit || m.Type == msgAssign || m.Type == msgResult {
+			// The JSON envelope requires the payload itself to be valid
+			// JSON, so wrap the fuzz bytes as a JSON string value.
+			pj, err := json.Marshal(strings.ToValidUTF8(string(payload), "?"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Payload = pj
+		}
+		if m.Type == msgResult {
+			m.Err = clampUTF8(errStr, 1<<10)
+		}
+		if m.Type == msgSnapshot {
+			m.Snap = &snapshotData{
+				Epoch:   epoch,
+				Pending: int(pending % (1 << 30)),
+				Leases:  []string{clampUTF8(lease, 64)},
+			}
+		}
+
+		roundTrip := func(tr Transport) *message {
+			var buf bytes.Buffer
+			var wc wireCounters
+			cd := newCodec(tr, &buf, &buf, &wc)
+			if err := cd.write(m); err != nil {
+				t.Fatalf("%v encode of %+v: %v", tr, m, err)
+			}
+			out, err := cd.read()
+			if err != nil {
+				t.Fatalf("%v decode of own encoding of %+v: %v", tr, m, err)
+			}
+			return out
+		}
+		b, j := roundTrip(TransportBinary), roundTrip(TransportJSON)
+
+		if b.Type != j.Type || b.Flags != j.Flags || b.TaskID != j.TaskID ||
+			b.Name != j.Name || b.Err != j.Err || !bytes.Equal(b.Payload, j.Payload) {
+			t.Fatalf("transports disagree:\n binary %+v\n json   %+v", b, j)
+		}
+		if (b.Snap == nil) != (j.Snap == nil) {
+			t.Fatalf("snapshot presence disagrees: binary %+v, json %+v", b.Snap, j.Snap)
+		}
+		if b.Snap != nil {
+			if b.Snap.Epoch != j.Snap.Epoch || b.Snap.Pending != j.Snap.Pending ||
+				len(b.Snap.Leases) != len(j.Snap.Leases) {
+				t.Fatalf("snapshots disagree:\n binary %+v\n json   %+v", b.Snap, j.Snap)
+			}
+			for i := range b.Snap.Leases {
+				if b.Snap.Leases[i] != j.Snap.Leases[i] {
+					t.Fatalf("lease %d disagrees: %q vs %q", i, b.Snap.Leases[i], j.Snap.Leases[i])
+				}
+			}
 		}
 	})
 }

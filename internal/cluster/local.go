@@ -21,11 +21,28 @@ type LocalCluster struct {
 	cancel    context.CancelFunc
 }
 
+// LocalOption adjusts a LocalCluster before it starts.
+type LocalOption func(*localConfig)
+
+type localConfig struct {
+	transport Transport
+}
+
+// WithTransport selects the framing the local workers and client speak
+// to the scheduler (default TransportBinary).
+func WithTransport(tr Transport) LocalOption {
+	return func(cfg *localConfig) { cfg.transport = tr }
+}
+
 // NewLocalCluster starts everything on 127.0.0.1 with the given handler
 // and per-worker task timeout (0 = none).  Workers are wired with a fast
 // reconnect schedule, so a locally bounced scheduler is reacquired in
 // tens of milliseconds rather than the production default's seconds.
-func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (*LocalCluster, error) {
+func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration, opts ...LocalOption) (*LocalCluster, error) {
+	var cfg localConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	sched, err := NewScheduler("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -33,7 +50,7 @@ func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (
 	ctx, cancel := context.WithCancel(context.Background())
 	lc := &LocalCluster{Scheduler: sched, cancel: cancel}
 	for i := 0; i < nWorkers; i++ {
-		w, err := NewWorker(sched.Addr(), fmt.Sprintf("worker-%d", i), handler)
+		w, err := NewWorkerTransport(sched.Addr(), fmt.Sprintf("worker-%d", i), handler, cfg.transport)
 		if err != nil {
 			return nil, errors.Join(err, lc.Close())
 		}
@@ -43,7 +60,7 @@ func NewLocalCluster(nWorkers int, handler Handler, taskTimeout time.Duration) (
 		lc.Workers = append(lc.Workers, w)
 		go func() { _ = w.Run(ctx) }()
 	}
-	client, err := NewClient(sched.Addr())
+	client, err := NewClientTransport(sched.Addr(), cfg.transport)
 	if err != nil {
 		return nil, errors.Join(err, lc.Close())
 	}

@@ -10,6 +10,7 @@ package cluster
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -23,16 +24,43 @@ const (
 	msgAssign    msgType = "assign"    // scheduler → worker
 	msgResult    msgType = "result"    // worker → scheduler → client
 	msgHeartbeat msgType = "heartbeat" // worker → scheduler: still working on TaskID, renew its lease
+	msgSnapshot  msgType = "snapshot"  // scheduler → worker: catch-up state at register time
 )
 
-// message is the wire format: length-prefixed JSON.
+// message is the transport-independent protocol message.  The JSON
+// transport frames it as length-prefixed JSON; the binary transport
+// (internal/cluster/wire) maps the same fields onto fixed-header frames.
 type message struct {
 	Type    msgType         `json:"type"`
+	Flags   byte            `json:"flags,omitempty"` // register: flagWantSnapshot
 	TaskID  string          `json:"task_id,omitempty"`
 	Name    string          `json:"name,omitempty"` // worker name on register
 	Payload json.RawMessage `json:"payload,omitempty"`
 	Err     string          `json:"err,omitempty"`
+	Snap    *snapshotData   `json:"snapshot,omitempty"`
 }
+
+// flagWantSnapshot, set on a register message, asks the scheduler for a
+// snapshot reply before the first assignment.  Raw peers that register
+// without it (older code, hand-rolled test workers) see the exact
+// pre-snapshot protocol.
+const flagWantSnapshot byte = 1 << 0
+
+// snapshotData is the compact scheduler state a late-joining worker
+// receives instead of any history replay: where the campaign stands
+// (Epoch counts tasks submitted so far), how deep the queue is, and
+// which leases are outstanding right now.  Its size is O(in-flight
+// tasks), independent of how long the campaign has been running.
+type snapshotData struct {
+	Epoch   uint64   `json:"epoch"`
+	Pending int      `json:"pending"`
+	Leases  []string `json:"leases,omitempty"`
+}
+
+// errBadFrame marks a JSON-transport decode failure (oversized or
+// unparseable frame), as opposed to ordinary connection teardown, so the
+// codec layer can count decode errors.
+var errBadFrame = errors.New("cluster: bad frame")
 
 // maxFrame bounds a frame to keep a corrupt peer from forcing a huge
 // allocation.
@@ -61,7 +89,7 @@ func readMessage(r io.Reader) (*message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", errBadFrame, n)
 	}
 	data, err := readFrame(r, int(n))
 	if err != nil {
@@ -69,7 +97,7 @@ func readMessage(r io.Reader) (*message, error) {
 	}
 	var m message
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("cluster: decoding message: %w", err)
+		return nil, fmt.Errorf("%w: decoding message: %v", errBadFrame, err)
 	}
 	return &m, nil
 }

@@ -92,6 +92,7 @@ type Scheduler struct {
 	ln      net.Listener
 	pending chan *task
 	stats   Stats
+	wire    wireCounters
 	wg      sync.WaitGroup
 	closed  chan struct{}
 	once    sync.Once
@@ -137,6 +138,10 @@ func (s *Scheduler) Stats() Stats {
 		Workers:    atomic.LoadInt64(&s.stats.Workers),
 	}
 }
+
+// Wire returns a snapshot of the scheduler's transport counters,
+// aggregated across every connection it has accepted.
+func (s *Scheduler) Wire() WireStats { return s.wire.snapshot() }
 
 // WorkerStats snapshots the per-worker counters of every connected
 // worker, sorted by name.
@@ -203,8 +208,13 @@ func (s *Scheduler) acceptLoop() {
 	}
 }
 
-// handleConn reads the first message to learn whether the peer is a
-// worker or a client, then runs the corresponding proxy loop.
+// handleConn peeks the first byte to negotiate the framing (binary
+// frames start with wire.MagicByte0; JSON length prefixes cannot), reads
+// the first message to learn whether the peer is a worker or a client,
+// then runs the corresponding proxy loop.  A frame that fails to decode
+// — here or in either proxy — costs only this connection: the codec
+// counts the error, the handler returns, and the campaign carries on
+// over the surviving connections.
 func (s *Scheduler) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -216,18 +226,44 @@ func (s *Scheduler) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connsMu.Unlock()
 	}()
-	first, err := readMessage(conn)
+	cd, err := negotiate(conn, &s.wire)
+	if err != nil {
+		return
+	}
+	first, err := cd.read()
 	if err != nil {
 		return
 	}
 	switch first.Type {
 	case msgRegister:
-		s.runWorkerProxy(conn, first.Name)
+		s.runWorkerProxy(conn, cd, first)
 	case msgSubmit:
-		s.runClientProxy(conn, first)
+		s.runClientProxy(cd, first)
 	default:
 		s.logf("cluster: unexpected first message %q", first.Type)
 	}
+}
+
+// snapshot captures the compact catch-up state sent to a late-joining
+// worker that asked for it: the campaign epoch (tasks submitted so
+// far), the queue depth, and the sorted ids of every outstanding lease.
+// Its cost is O(in-flight tasks) — there is no history to replay.
+func (s *Scheduler) snapshot() *snapshotData {
+	snap := &snapshotData{
+		Epoch:   uint64(atomic.LoadInt64(&s.stats.Submitted)),
+		Pending: len(s.pending),
+	}
+	s.workersMu.Lock()
+	for w := range s.workers {
+		w.mu.Lock()
+		for id := range w.inflight {
+			snap.Leases = append(snap.Leases, id)
+		}
+		w.mu.Unlock()
+	}
+	s.workersMu.Unlock()
+	sort.Strings(snap.Leases)
+	return snap
 }
 
 // workerProxy is the scheduler-side state of one worker connection: the
@@ -236,6 +272,7 @@ func (s *Scheduler) handleConn(conn net.Conn) {
 type workerProxy struct {
 	s    *Scheduler
 	conn net.Conn
+	cd   codec
 	name string
 
 	mu       sync.Mutex
@@ -261,10 +298,12 @@ func (w *workerProxy) snapshot() WorkerStats {
 // failure, with nannies disabled (§2.2.5).  A worker that is merely slow
 // loses the lease but keeps the connection, so one slow task cannot
 // permanently remove a healthy node from the pool.
-func (s *Scheduler) runWorkerProxy(conn net.Conn, name string) {
+func (s *Scheduler) runWorkerProxy(conn net.Conn, cd codec, first *message) {
+	name := first.Name
 	w := &workerProxy{
 		s:        s,
 		conn:     conn,
+		cd:       cd,
 		name:     name,
 		inflight: make(map[string]*lease),
 		dead:     make(chan struct{}),
@@ -285,6 +324,15 @@ func (s *Scheduler) runWorkerProxy(conn net.Conn, name string) {
 	}()
 	s.logf("cluster: worker %q connected", name)
 	s.event(EventWorkerConnect, name, "", "")
+
+	// A worker that set flagWantSnapshot (our Worker always does) gets the
+	// compact catch-up state before its first assignment.  Raw registrants
+	// without the flag see the exact pre-snapshot protocol.
+	if first.Flags&flagWantSnapshot != 0 {
+		if err := cd.write(&message{Type: msgSnapshot, Snap: s.snapshot()}); err != nil {
+			return
+		}
+	}
 
 	go w.readLoop()
 
@@ -320,7 +368,7 @@ func (w *workerProxy) dispatch(t *task) bool {
 	w.inflight[t.id] = l
 	w.mu.Unlock()
 
-	if err := writeMessage(w.conn, &message{Type: msgAssign, TaskID: t.id, Payload: t.payload}); err != nil {
+	if err := w.cd.write(&message{Type: msgAssign, TaskID: t.id, Payload: t.payload}); err != nil {
 		w.take(t.id)
 		s.requeue(t, w.name, fmt.Sprintf("assign write failed: %v", err))
 		return false
@@ -405,7 +453,7 @@ func (w *workerProxy) readLoop() {
 	defer w.deadOnce.Do(func() { close(w.dead) })
 	s := w.s
 	for {
-		m, err := readMessage(w.conn)
+		m, err := w.cd.read()
 		if err != nil {
 			return
 		}
@@ -496,7 +544,7 @@ func (s *Scheduler) requeue(t *task, worker, why string) {
 // runClientProxy accepts submissions from one client connection and
 // returns results as they complete.  Results may arrive out of submission
 // order; the TaskID correlates them.
-func (s *Scheduler) runClientProxy(conn net.Conn, first *message) {
+func (s *Scheduler) runClientProxy(cd codec, first *message) {
 	results := make(chan *message, 1024)
 	clientDone := make(chan struct{})
 	var writerWG sync.WaitGroup
@@ -510,7 +558,7 @@ func (s *Scheduler) runClientProxy(conn net.Conn, first *message) {
 		for {
 			select {
 			case m := <-results:
-				if err := writeMessage(conn, m); err != nil {
+				if err := cd.write(m); err != nil {
 					return
 				}
 			case <-clientDone:
@@ -546,7 +594,7 @@ func (s *Scheduler) runClientProxy(conn net.Conn, first *message) {
 		return
 	}
 	for {
-		m, err := readMessage(conn)
+		m, err := cd.read()
 		if err != nil {
 			return
 		}

@@ -52,38 +52,99 @@ type Worker struct {
 	// Logf, if non-nil, receives diagnostic output.
 	Logf func(format string, args ...interface{})
 
-	addr string
+	addr      string
+	transport Transport
+	wire      wireCounters
 
-	mu      sync.Mutex // guards conn, closed
+	mu      sync.Mutex // guards conn, cd, snap, closed
 	conn    net.Conn
+	cd      codec
+	snap    *snapshotData
 	closed  bool
 	writeMu sync.Mutex // serializes frames (results vs heartbeats)
 }
 
-// NewWorker dials the scheduler and registers.
+// NewWorker dials the scheduler and registers over the default binary
+// framing.
 func NewWorker(addr, name string, handler Handler) (*Worker, error) {
+	return NewWorkerTransport(addr, name, handler, TransportBinary)
+}
+
+// NewWorkerTransport dials the scheduler and registers, speaking the
+// given framing for the life of the worker (reconnections included).
+func NewWorkerTransport(addr, name string, handler Handler, tr Transport) (*Worker, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("cluster: worker needs a handler")
 	}
-	conn, err := dialAndRegister(addr, name)
+	w := &Worker{Name: name, Handler: handler, addr: addr, transport: tr}
+	conn, cd, snap, err := w.dialAndRegister()
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{Name: name, Handler: handler, addr: addr, conn: conn}, nil
+	w.conn, w.cd, w.snap = conn, cd, snap
+	return w, nil
 }
 
-func dialAndRegister(addr, name string) (net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+// dialAndRegister dials, registers with flagWantSnapshot, and waits for
+// the scheduler's snapshot reply.  Registering mid-campaign therefore
+// costs one compact frame — where the campaign stands and which leases
+// are outstanding — never a replay of history.
+func (w *Worker) dialAndRegister() (net.Conn, codec, *snapshotData, error) {
+	conn, err := net.Dial("tcp", w.addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	if err := writeMessage(conn, &message{Type: msgRegister, Name: name}); err != nil {
+	cd := dialCodec(w.transport, conn, &w.wire)
+	if err := cd.write(&message{Type: msgRegister, Name: w.Name, Flags: flagWantSnapshot}); err != nil {
 		//lint:ignore errdiscard best-effort close of a half-registered conn; the register error is returned
 		conn.Close()
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return conn, nil
+	first, err := cd.read()
+	if err != nil {
+		//lint:ignore errdiscard best-effort close of a half-registered conn; the read error is returned
+		conn.Close()
+		return nil, nil, nil, fmt.Errorf("cluster: reading register snapshot: %w", err)
+	}
+	if first.Type != msgSnapshot {
+		//lint:ignore errdiscard best-effort close of a conn that broke protocol; the type error is returned
+		conn.Close()
+		return nil, nil, nil, fmt.Errorf("cluster: expected snapshot after register, got %q", first.Type)
+	}
+	snap := first.Snap
+	if snap == nil {
+		snap = &snapshotData{}
+	}
+	return conn, cd, snap, nil
 }
+
+// Snapshot is the catch-up state a worker received when it registered:
+// the campaign epoch (tasks submitted before it joined), the queue depth
+// at join time, and the leases that were outstanding.
+type Snapshot struct {
+	Epoch   uint64
+	Pending int
+	Leases  []string
+}
+
+// Snapshot returns the catch-up state from the most recent successful
+// registration, and whether one has been received.
+func (w *Worker) Snapshot() (Snapshot, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.snap == nil {
+		return Snapshot{}, false
+	}
+	return Snapshot{
+		Epoch:   w.snap.Epoch,
+		Pending: w.snap.Pending,
+		Leases:  append([]string(nil), w.snap.Leases...),
+	}, true
+}
+
+// Wire returns a snapshot of the worker's transport counters across all
+// connections it has dialed.
+func (w *Worker) Wire() WireStats { return w.wire.snapshot() }
 
 func (w *Worker) logf(format string, args ...interface{}) {
 	if w.Logf != nil {
@@ -91,10 +152,10 @@ func (w *Worker) logf(format string, args ...interface{}) {
 	}
 }
 
-func (w *Worker) current() net.Conn {
+func (w *Worker) current() (net.Conn, codec) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.conn
+	return w.conn, w.cd
 }
 
 func (w *Worker) isClosed() bool {
@@ -114,17 +175,17 @@ func (w *Worker) Run(ctx context.Context) error {
 
 	bo := newBackoff(w.ReconnectInitial, w.ReconnectMax)
 	for {
-		conn := w.current()
+		conn, cd := w.current()
 		if conn == nil {
 			var err error
-			if conn, err = w.reconnect(ctx, bo); err != nil {
+			if conn, cd, err = w.reconnect(ctx, bo); err != nil {
 				return err
 			}
 			if conn == nil { // cancelled or closed
 				return nil
 			}
 		}
-		err := w.serve(ctx, conn)
+		err := w.serve(ctx, cd)
 		if ctx.Err() != nil || w.isClosed() {
 			return nil
 		}
@@ -136,82 +197,88 @@ func (w *Worker) Run(ctx context.Context) error {
 // reconnect re-dials the scheduler with backoff until it succeeds, the
 // context is cancelled, Close is called, or MaxReconnects consecutive
 // attempts fail.
-func (w *Worker) reconnect(ctx context.Context, bo *backoff) (net.Conn, error) {
+func (w *Worker) reconnect(ctx context.Context, bo *backoff) (net.Conn, codec, error) {
 	attempts := 0
 	for {
 		if ctx.Err() != nil || w.isClosed() {
-			return nil, nil
+			return nil, nil, nil
 		}
-		conn, err := dialAndRegister(w.addr, w.Name)
+		conn, cd, snap, err := w.dialAndRegister()
 		if err == nil {
 			w.mu.Lock()
 			if w.closed {
 				w.mu.Unlock()
 				//lint:ignore errdiscard best-effort: the worker was closed while dialing; the fresh conn is discarded unused
 				conn.Close()
-				return nil, nil
+				return nil, nil, nil
 			}
-			w.conn = conn
+			w.conn, w.cd, w.snap = conn, cd, snap
 			w.mu.Unlock()
 			if ctx.Err() != nil {
 				// The cancellation watcher may have fired before w.conn was
 				// set; make sure a late dial never leaves a live socket.
 				w.closeConn()
-				return nil, nil
+				return nil, nil, nil
 			}
 			bo.reset()
-			w.logf("cluster: worker %q reconnected to %s", w.Name, w.addr)
-			return conn, nil
+			w.logf("cluster: worker %q reconnected to %s (epoch %d, %d leases outstanding)", w.Name, w.addr, snap.Epoch, len(snap.Leases))
+			return conn, cd, nil
 		}
 		attempts++
 		if w.MaxReconnects > 0 && attempts >= w.MaxReconnects {
-			return nil, fmt.Errorf("cluster: worker %q gave up after %d reconnect attempts: %w", w.Name, attempts, err)
+			return nil, nil, fmt.Errorf("cluster: worker %q gave up after %d reconnect attempts: %w", w.Name, attempts, err)
 		}
 		delay := bo.next()
 		w.logf("cluster: worker %q reconnect attempt %d failed (%v); retrying in %v", w.Name, attempts, err, delay)
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
-			return nil, nil
+			return nil, nil, nil
 		}
 	}
 }
 
 // serve pulls assignments from one connection until it fails.
-func (w *Worker) serve(ctx context.Context, conn net.Conn) error {
+func (w *Worker) serve(ctx context.Context, cd codec) error {
 	for {
-		m, err := readMessage(conn)
+		m, err := cd.read()
 		if err != nil {
 			return err
+		}
+		if m.Type == msgSnapshot {
+			w.mu.Lock()
+			w.snap = m.Snap
+			w.mu.Unlock()
+			continue
 		}
 		if m.Type != msgAssign {
 			w.logf("cluster: worker %q got unexpected message %q; ignoring", w.Name, m.Type)
 			continue
 		}
-		result := w.execute(ctx, conn, m)
+		result := w.execute(ctx, cd, m)
 		if result == nil {
 			// Parent context cancelled mid-task: propagate the shutdown
 			// instead of fabricating a failure result.
 			return context.Canceled
 		}
-		if err := w.write(conn, result); err != nil {
+		if err := w.write(cd, result); err != nil {
 			return err
 		}
 	}
 }
 
 // write sends one frame, serialized against concurrent heartbeats.
-func (w *Worker) write(conn net.Conn, m *message) error {
+func (w *Worker) write(cd codec, m *message) error {
 	w.writeMu.Lock()
 	defer w.writeMu.Unlock()
-	return writeMessage(conn, m)
+	return cd.write(m)
 }
 
 // execute runs one task with asynchronous timeout enforcement, heartbeats
 // and panic containment.  It returns nil when the parent context was
 // cancelled (worker shutting down), so that Ctrl-C is never misreported
 // as a task timeout.
-func (w *Worker) execute(ctx context.Context, conn net.Conn, m *message) *message {
+func (w *Worker) execute(ctx context.Context, cd codec, m *message) *message {
 	taskCtx := ctx
 	var cancel context.CancelFunc
 	if w.TaskTimeout > 0 {
@@ -230,7 +297,7 @@ func (w *Worker) execute(ctx context.Context, conn net.Conn, m *message) *messag
 				case <-ticker.C:
 					// A failed heartbeat is not fatal here; the serve loop
 					// will see the connection error on its next read/write.
-					_ = w.write(conn, &message{Type: msgHeartbeat, TaskID: m.TaskID})
+					_ = w.write(cd, &message{Type: msgHeartbeat, TaskID: m.TaskID})
 				case <-hbDone:
 					return
 				}
@@ -301,7 +368,7 @@ func safeHandle(ctx context.Context, h Handler, payload json.RawMessage) (out js
 func (w *Worker) closeConn() {
 	w.mu.Lock()
 	conn := w.conn
-	w.conn = nil
+	w.conn, w.cd = nil, nil
 	w.mu.Unlock()
 	if conn != nil {
 		//lint:ignore errdiscard force-drop by design: closing under the reader unblocks it; there is no recovery path for the error
@@ -315,7 +382,7 @@ func (w *Worker) Close() error {
 	w.mu.Lock()
 	w.closed = true
 	conn := w.conn
-	w.conn = nil
+	w.conn, w.cd = nil, nil
 	w.mu.Unlock()
 	if conn != nil {
 		return conn.Close()

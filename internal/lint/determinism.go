@@ -25,6 +25,10 @@ var deterministicPkgs = map[string]bool{
 	// must produce byte-identical frontiers across process bounces, so a
 	// stray clock or map-order leak in it breaks the resume contract.
 	"service": true,
+	// wire frames must encode byte-identically for the same message — the
+	// cross-transport golden tests compare campaign artifacts bit for
+	// bit, so the codec gets the same no-clock/no-rand discipline.
+	"wire": true,
 }
 
 // Determinism flags nondeterminism sources in deterministic packages:

@@ -19,6 +19,10 @@ var errDiscardPkgs = map[string]bool{
 	// write error there is a silently lost generation or a half-sent
 	// frontier.
 	"service": true,
+	// wire is the binary framing layer itself; a swallowed encode or
+	// short-write error there desynchronizes the stream for every
+	// message that follows.
+	"wire": true,
 }
 
 // ErrDiscard flags discarded errors on I/O, network and encode paths in

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/hpo"
 	"repro/internal/service"
 )
@@ -76,7 +77,11 @@ func waitStatusHTTP(t *testing.T, base, id string, want service.State) service.S
 }
 
 func TestHTTPCampaignLifecycle(t *testing.T) {
-	_, srv := newTestServer(t, nil)
+	_, srv := newTestServer(t, func(cfg *service.Config) {
+		cfg.SchedulerWire = func() cluster.WireStats {
+			return cluster.WireStats{FramesIn: 7, FramesOut: 9, BytesIn: 512, BytesOut: 1024, BinaryConns: 3}
+		}
+	})
 	base := srv.URL
 
 	// Malformed bodies are 400s.
@@ -199,6 +204,8 @@ func TestHTTPCampaignLifecycle(t *testing.T) {
 		`repro_service_campaigns{state="done"} 1`,
 		"repro_service_evaluations_total",
 		"repro_service_memo_misses_total",
+		"repro_cluster_wire_frames_in_total 7",
+		`repro_cluster_wire_conns_total{transport="binary"} 3`,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

@@ -70,6 +70,18 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&buf, "repro_cluster_worker_completed_total{worker=%q} %d\n", ws.Name, ws.Completed)
 		}
 	}
+	if s.cfg.SchedulerWire != nil {
+		ws := s.cfg.SchedulerWire()
+		fmt.Fprintf(&buf, "# HELP repro_cluster_wire Transport-level frame and byte counters.\n")
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_frames_in_total counter\nrepro_cluster_wire_frames_in_total %d\n", ws.FramesIn)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_frames_out_total counter\nrepro_cluster_wire_frames_out_total %d\n", ws.FramesOut)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_bytes_in_total counter\nrepro_cluster_wire_bytes_in_total %d\n", ws.BytesIn)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_bytes_out_total counter\nrepro_cluster_wire_bytes_out_total %d\n", ws.BytesOut)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_decode_errors_total counter\nrepro_cluster_wire_decode_errors_total %d\n", ws.DecodeErrors)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_conns_total counter\n")
+		fmt.Fprintf(&buf, "repro_cluster_wire_conns_total{transport=\"binary\"} %d\n", ws.BinaryConns)
+		fmt.Fprintf(&buf, "repro_cluster_wire_conns_total{transport=\"json\"} %d\n", ws.JSONConns)
+	}
 	if s.cfg.SchedulerEvents != nil {
 		types, counts := s.cfg.SchedulerEvents.Counts()
 		fmt.Fprintf(&buf, "# HELP repro_cluster_events_total Scheduler lifecycle events by type.\n")

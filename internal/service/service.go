@@ -74,6 +74,10 @@ type Config struct {
 	// SchedulerEvents, if non-nil, feeds scheduler lifecycle-event
 	// counts into /metrics (wire it to Scheduler.OnEvent).
 	SchedulerEvents *cluster.EventCounters
+	// SchedulerWire, if non-nil, feeds transport-level frame/byte/error
+	// counters into /metrics (wire it to Scheduler.Wire, or Client.Wire
+	// for a remote backend).
+	SchedulerWire func() cluster.WireStats
 }
 
 func (cfg Config) withDefaults() Config {

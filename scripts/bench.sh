@@ -1,13 +1,12 @@
 #!/usr/bin/env bash
-# bench.sh — hot-path benchmark runner for the streaming-dataset PR.
+# bench.sh — hot-path benchmark runner for the binary wire-protocol PR.
 #
-# Runs the nn, descriptor, deepmd, and dataset/stream benchmarks and
-# writes BENCH_6.json at the repo root: ns/op and allocs/op per
-# benchmark, the speedup of each batched fitting-net path over its
-# scalar twin, and the per-frame train-step speedup of the whole-frame
-# batched path over the previous PR's per-atom baseline recorded in
-# BENCH_5.json (this PR's acceptance metric, target >= 2x for the fast
-# cross-frame mode).
+# Runs the cluster transport benchmarks and writes BENCH_7.json at the
+# repo root: ns/op and allocs/op per benchmark, the end-to-end scheduler
+# throughput speedup of binary framing over JSON at every grid point
+# (workers × loopback/chaos-proxy; the acceptance metric is the
+# workers=100 loopback point, target >= 2x), and the in-memory codec
+# round-trip speedup that isolates pure framing cost from the sockets.
 #
 # Each benchmark runs BENCHCOUNT times and the fastest rep is recorded,
 # which keeps the speedup ratios stable on noisy shared machines.
@@ -20,19 +19,14 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-0.3s}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# Per-frame train-step cost of the previous PR, from the committed
-# BENCH_5.json (BatchSize=1, so ns/op is already per frame).
-base5="$(sed -n 's/.*"BenchmarkTrainStepByWorkers\/workers=1": {"ns_per_op": \([0-9]*\).*/\1/p' BENCH_5.json)"
-
 go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$BENCHCOUNT" \
-    ./internal/nn/... ./internal/descriptor/ ./internal/deepmd/ \
-    ./internal/dataset/stream/ | tee "$raw"
+    ./internal/cluster/ | tee "$raw"
 
-awk -v benchtime="$BENCHTIME" -v base5="$base5" '
+awk -v benchtime="$BENCHTIME" '
 $1 ~ /^Benchmark/ && $4 == "ns/op" {
     name = $1; sub(/-[0-9]+$/, "", name)
     if (!(name in ns)) { order[++n] = name }
@@ -49,27 +43,27 @@ END {
         if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
         printf "}%s\n", (i < n) ? "," : ""
     }
-    printf "  },\n  \"speedup_batched_vs_scalar\": {\n"
+    # End-to-end scheduler throughput, binary over JSON, per grid point:
+    # ns/op of the transport=json twin divided by the binary run.
+    printf "  },\n  \"sched_throughput_speedup_vs_json\": {\n"
     np = 0
     for (i = 1; i <= n; i++) {
         name = order[i]
-        if (name !~ /Batch\//) continue
-        scalar = name; sub(/Batch\//, "Scalar/", scalar)
-        if (!(scalar in ns) || ns[name] + 0 == 0) continue
-        pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[scalar] / ns[name])
+        if (name !~ /^BenchmarkSchedulerThroughput.*transport=binary$/) continue
+        twin = name; sub(/transport=binary$/, "transport=json", twin)
+        if (!(twin in ns) || ns[name] + 0 == 0) continue
+        pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[twin] / ns[name])
     }
     for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
-    # Per-frame speedup of the whole-frame batched train step over the
-    # previous PR: BENCH_5 TrainStepByWorkers/workers=1 ns/frame divided
-    # by this run TrainStepBatch ns/op over its batch size.
-    printf "  },\n  \"train_step_speedup_vs_bench5\": {\n"
+    # Pure framing cost with no scheduler and no sockets in the way.
+    printf "  },\n  \"codec_speedup_vs_json\": {\n"
     np = 0
     for (i = 1; i <= n; i++) {
         name = order[i]
-        if (name !~ /TrainStepBatch\//) continue
-        batch = name; sub(/.*batch=/, "", batch)
-        if (batch + 0 == 0 || ns[name] + 0 == 0 || base5 + 0 == 0) continue
-        pairs[++np] = sprintf("    \"%s\": %.2f", name, base5 / (ns[name] / batch))
+        if (name !~ /^BenchmarkCodecRoundTrip.*transport=binary$/) continue
+        twin = name; sub(/transport=binary$/, "transport=json", twin)
+        if (!(twin in ns) || ns[name] + 0 == 0) continue
+        pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[twin] / ns[name])
     }
     for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
     printf "  }\n}\n"

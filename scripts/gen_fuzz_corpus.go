@@ -19,7 +19,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
+	"repro/internal/cluster/wire"
 	"repro/internal/npy"
 )
 
@@ -35,6 +37,22 @@ func writeCorpus(dir, name string, entry string) {
 
 func bytesEntry(b []byte) string  { return "[]byte(" + strconv.Quote(string(b)) + ")" }
 func stringEntry(s string) string { return "string(" + strconv.Quote(s) + ")" }
+func byteEntry(b byte) string     { return fmt.Sprintf("byte('\\x%02x')", b) }
+func uint64Entry(v uint64) string { return fmt.Sprintf("uint64(%d)", v) }
+
+// multiEntry joins the per-argument lines of a multi-parameter fuzz
+// target's corpus file.
+func multiEntry(vals ...string) string { return strings.Join(vals, "\n") }
+
+// wireFrame builds one binary frame, failing loudly on invalid input so
+// the generator never commits a broken corpus.
+func wireFrame(m *wire.Message) []byte {
+	frame, err := wire.AppendFrame(nil, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return frame
+}
 
 func npyBytes(shape []int, data []float64) []byte {
 	var buf bytes.Buffer
@@ -109,6 +127,48 @@ func main() {
 	binary.BigEndian.PutUint32(hostile[:], 63<<20)
 	writeCorpus(clusterDir, "hostile_length_no_body", bytesEntry(hostile[:]))
 	writeCorpus(clusterDir, "bad_json", bytesEntry(frame([]byte(`{"type":`))))
+
+	wireDir := filepath.Join("internal", "cluster", "wire", "testdata", "fuzz", "FuzzWireDecode")
+	writeCorpus(wireDir, "register",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeRegister, Name: []byte("worker-0"), Flags: wire.FlagWantSnapshot})))
+	writeCorpus(wireDir, "submit",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeSubmit, TaskID: []byte("task-1"), Payload: []byte(`{"genome":[0.5,-1.5]}`)})))
+	writeCorpus(wireDir, "assign",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeAssign, TaskID: []byte("task-2"), Payload: []byte(`{"genome":[1]}`)})))
+	writeCorpus(wireDir, "result_ok",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeResult, TaskID: []byte("task-3"), Payload: []byte(`{"fitness":[2.5]}`)})))
+	writeCorpus(wireDir, "result_err",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeResult, TaskID: []byte("task-4"), Err: []byte("diverged")})))
+	writeCorpus(wireDir, "heartbeat",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeHeartbeat, TaskID: []byte("task-5")})))
+	writeCorpus(wireDir, "snapshot",
+		bytesEntry(wireFrame(&wire.Message{Type: wire.TypeSnapshot, Epoch: 981, Pending: 12,
+			Leases: [][]byte{[]byte("lease-a"), []byte("lease-b")}})))
+	badMagic := wireFrame(&wire.Message{Type: wire.TypeHeartbeat, TaskID: []byte("t")})
+	badMagic[0] = 0x00
+	writeCorpus(wireDir, "bad_magic", bytesEntry(badMagic))
+	truncated := wireFrame(&wire.Message{Type: wire.TypeSubmit, TaskID: []byte("t"), Payload: []byte(`{"genome":[1,2,3]}`)})
+	writeCorpus(wireDir, "truncated_frame", bytesEntry(truncated[:len(truncated)-4]))
+	hostileWire := make([]byte, wire.HeaderSize)
+	binary.BigEndian.PutUint16(hostileWire[0:2], wire.Magic)
+	hostileWire[2] = wire.Version
+	hostileWire[3] = 2 // submit
+	binary.BigEndian.PutUint32(hostileWire[6:10], 63<<20)
+	writeCorpus(wireDir, "hostile_length_no_body", bytesEntry(hostileWire))
+
+	diffDir := filepath.Join("internal", "cluster", "testdata", "fuzz", "FuzzTransportDifferential")
+	diff := func(typ, flags byte, taskID, name, errStr string, payload []byte, epoch, pending uint64, lease string) string {
+		return multiEntry(byteEntry(typ), byteEntry(flags),
+			stringEntry(taskID), stringEntry(name), stringEntry(errStr),
+			bytesEntry(payload), uint64Entry(epoch), uint64Entry(pending), stringEntry(lease))
+	}
+	writeCorpus(diffDir, "register", diff(0, 1, "", "worker-0", "", nil, 0, 0, ""))
+	writeCorpus(diffDir, "submit", diff(1, 0, "task-1", "", "", []byte(`{"genome":[0.5,-1.5]}`), 0, 0, ""))
+	writeCorpus(diffDir, "assign", diff(2, 0, "task-2", "", "", []byte(`{"genome":[1]}`), 0, 0, ""))
+	writeCorpus(diffDir, "result_err", diff(3, 0, "task-3", "", "diverged", []byte(`{"fitness":[2.5]}`), 0, 0, ""))
+	writeCorpus(diffDir, "heartbeat", diff(4, 0, "task-4", "", "", nil, 0, 0, ""))
+	writeCorpus(diffDir, "snapshot", diff(5, 0, "", "", "", nil, 981, 12, "lease-a"))
+	writeCorpus(diffDir, "non_utf8_id", diff(1, 0, "id-\xff\xfe", "", "", []byte{0x80, 0x81}, 0, 0, ""))
 
 	streamDir := filepath.Join("internal", "dataset", "stream", "testdata", "fuzz", "FuzzShardIndex")
 	shardOK := npyBytes([]int{2, 6}, []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 10.5, 11.5})
