@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a lightweight intraprocedural control-flow graph: basic blocks
+// of statements connected by successor edges.  It is deliberately
+// small — enough to answer reachability questions (dead code after
+// return/panic, unreachable branches) for the interprocedural
+// analyzers, without the full SSA machinery this module cannot depend
+// on.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// Block is one basic block: statements that execute in sequence, with
+// control transfers only at the end.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Block
+}
+
+// cfgBuilder threads the current block through the statement walk.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// loops stacks the enclosing (continue, break) targets.
+	loops []loopFrame
+	// labels maps label names to their blocks (created on demand for
+	// forward gotos) and their loop frames for labeled break/continue.
+	labels     map[string]*Block
+	labelLoops map[string]loopFrame
+}
+
+type loopFrame struct {
+	label         string
+	cont, brk     *Block
+	isSwitchOrSel bool // break target only; continue passes through
+}
+
+// BuildCFG builds the graph for one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{},
+		labels:     map[string]*Block{},
+		labelLoops: map[string]loopFrame{},
+	}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump links from→to unless from already terminated (nil).
+func jump(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// emit appends s to the current block; a dead current block (after
+// return/panic) still collects statements so Unreachable can report
+// them, via a fresh successor-less block.
+func (b *cfgBuilder) emit(s ast.Stmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable block: no predecessors
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		b.emit(st)
+		cond := b.cur
+		then := b.newBlock()
+		jump(cond, then)
+		b.cur = then
+		b.stmtList(st.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if st.Else != nil {
+			els := b.newBlock()
+			jump(cond, els)
+			b.cur = els
+			b.stmt(st.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		if st.Else == nil {
+			jump(cond, join)
+		}
+		jump(thenEnd, join)
+		jump(elseEnd, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		b.forLoop(st, "", st.Body)
+
+	case *ast.RangeStmt:
+		b.emit(st)
+		head := b.cur
+		body := b.newBlock()
+		done := b.newBlock()
+		jump(head, body)
+		jump(head, done)
+		b.pushLoop(loopFrame{cont: head, brk: done})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		jump(b.cur, head)
+		b.popLoop()
+		b.cur = done
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.emit(s)
+		b.switchLike(s)
+
+	case *ast.SelectStmt:
+		b.emit(st)
+		head := b.cur
+		done := b.newBlock()
+		b.pushLoop(loopFrame{brk: done, isSwitchOrSel: true})
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			jump(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			jump(b.cur, done)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.ReturnStmt:
+		b.emit(st)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.emit(st)
+		switch st.Tok {
+		case token.BREAK:
+			jump(b.cur, b.breakTarget(labelName(st.Label)))
+			b.cur = nil
+		case token.CONTINUE:
+			jump(b.cur, b.continueTarget(labelName(st.Label)))
+			b.cur = nil
+		case token.GOTO:
+			jump(b.cur, b.labelBlock(labelName(st.Label)))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// switchLike links case bodies in order; nothing to do here.
+		}
+
+	case *ast.LabeledStmt:
+		lbl := b.labelBlock(st.Label.Name)
+		jump(b.cur, lbl)
+		b.cur = lbl
+		if fs, ok := st.Stmt.(*ast.ForStmt); ok {
+			b.forLoop(fs, st.Label.Name, fs.Body)
+			return
+		}
+		if rs, ok := st.Stmt.(*ast.RangeStmt); ok {
+			b.labeledRange(rs, st.Label.Name)
+			return
+		}
+		b.stmt(st.Stmt)
+
+	case *ast.ExprStmt:
+		b.emit(st)
+		if isTerminatingCall(st.X) {
+			b.cur = nil
+		}
+
+	default:
+		// Plain statements (assign, decl, send, go, defer, inc/dec,
+		// empty) fall through sequentially.
+		b.emit(s)
+	}
+}
+
+// forLoop builds a for statement, optionally labeled.
+func (b *cfgBuilder) forLoop(st *ast.ForStmt, label string, body *ast.BlockStmt) {
+	if st.Init != nil {
+		b.emit(st.Init)
+	}
+	head := b.newBlock()
+	jump(b.cur, head)
+	head.Stmts = append(head.Stmts, st) // the for itself anchors the head
+	bodyBlk := b.newBlock()
+	done := b.newBlock()
+	jump(head, bodyBlk)
+	if st.Cond != nil {
+		jump(head, done) // condition may fail before the first iteration
+	}
+	post := head
+	if st.Post != nil {
+		post = b.newBlock()
+		post.Stmts = append(post.Stmts, st.Post)
+		jump(post, head)
+	}
+	frame := loopFrame{label: label, cont: post, brk: done}
+	b.pushLoop(frame)
+	if label != "" {
+		b.labelLoops[label] = frame
+	}
+	b.cur = bodyBlk
+	b.stmtList(body.List)
+	jump(b.cur, post)
+	b.popLoop()
+	b.cur = done
+}
+
+// labeledRange mirrors the RangeStmt case with a label frame.
+func (b *cfgBuilder) labeledRange(st *ast.RangeStmt, label string) {
+	b.emit(st)
+	head := b.cur
+	body := b.newBlock()
+	done := b.newBlock()
+	jump(head, body)
+	jump(head, done)
+	frame := loopFrame{label: label, cont: head, brk: done}
+	b.pushLoop(frame)
+	b.labelLoops[label] = frame
+	b.cur = body
+	b.stmtList(st.Body.List)
+	jump(b.cur, head)
+	b.popLoop()
+	b.cur = done
+}
+
+// switchLike builds switch/type-switch: each case branches from the
+// head; fallthrough links a case body to the next case's body.
+func (b *cfgBuilder) switchLike(s ast.Stmt) {
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.emit(st.Init)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.emit(st.Init)
+		}
+		body = st.Body
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	done := b.newBlock()
+	b.pushLoop(loopFrame{brk: done, isSwitchOrSel: true})
+	hasDefault := false
+	var caseBlocks []*Block
+	var caseEnds []*Block
+	var caseClauses []*ast.CaseClause
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		jump(head, blk)
+		b.cur = blk
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.stmtList(cc.Body)
+		caseBlocks = append(caseBlocks, blk)
+		caseEnds = append(caseEnds, b.cur)
+		caseClauses = append(caseClauses, cc)
+		jump(b.cur, done)
+	}
+	// fallthrough: terminal `fallthrough` in case i jumps into case i+1.
+	for i, cc := range caseClauses {
+		if i+1 >= len(caseBlocks) || len(cc.Body) == 0 {
+			continue
+		}
+		if br, ok := cc.Body[len(cc.Body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			jump(caseEnds[i], caseBlocks[i+1])
+		}
+	}
+	if !hasDefault {
+		jump(head, done) // no case may match
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+func (b *cfgBuilder) pushLoop(f loopFrame) { b.loops = append(b.loops, f) }
+func (b *cfgBuilder) popLoop()             { b.loops = b.loops[:len(b.loops)-1] }
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	if label != "" {
+		if f, ok := b.labelLoops[label]; ok {
+			return f.brk
+		}
+		return b.labelBlock(label) // unknown label: degrade to its block
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		return b.loops[i].brk
+	}
+	return nil
+}
+
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	if label != "" {
+		if f, ok := b.labelLoops[label]; ok {
+			return f.cont
+		}
+		return b.labelBlock(label)
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if !b.loops[i].isSwitchOrSel {
+			return b.loops[i].cont
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if name == "" {
+		return nil
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// isTerminatingCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, log.Fatal*, and the testing Fatal family cannot be
+// distinguished without types here, so only the unambiguous builtins
+// and selector forms are matched syntactically.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case x.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case x.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			case x.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln" || fun.Sel.Name == "Panic" || fun.Sel.Name == "Panicf" || fun.Sel.Name == "Panicln"):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reachable returns the blocks reachable from Entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// Unreachable returns the statements of blocks that cannot be reached
+// from the entry, in source order.  Loop-head statements recorded on a
+// reachable block are never included.
+func (c *CFG) Unreachable() []ast.Stmt {
+	seen := c.Reachable()
+	var dead []ast.Stmt
+	for _, b := range c.Blocks {
+		if seen[b] {
+			continue
+		}
+		dead = append(dead, b.Stmts...)
+	}
+	sortStmts(dead)
+	return dead
+}
+
+func sortStmts(list []ast.Stmt) {
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].Pos() < list[j-1].Pos(); j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+}

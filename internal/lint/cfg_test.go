@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG wraps body in a result-free function, parses it and
+// builds its CFG.  Result-free so trailing unreachable statements do
+// not trip the type checker's missing-return analysis (the CFG layer
+// is purely syntactic and needs no types).
+func buildTestCFG(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\nfunc F() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body), fset
+}
+
+// unreachableLines returns the source lines of statements the CFG
+// proves unreachable, deduplicated in order.
+func unreachableLines(cfg *CFG, fset *token.FileSet) []int {
+	var lines []int
+	seen := map[int]bool{}
+	for _, s := range cfg.Unreachable() {
+		l := fset.Position(s.Pos()).Line
+		if !seen[l] {
+			seen[l] = true
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+func wantLines(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("unreachable lines = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unreachable lines = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	x++
+	_ = x
+`)
+	wantLines(t, unreachableLines(cfg, fset), nil)
+}
+
+func TestCFGDeadAfterReturn(t *testing.T) {
+	// Body lines start at 4 (src has 3 header lines).
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	_ = x
+	return
+	x = 2
+	x = 3
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{8, 9})
+}
+
+func TestCFGDeadAfterPanic(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	panic("boom")
+	x := 1
+	_ = x
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{6, 7})
+}
+
+func TestCFGDeadAfterOsExit(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	os.Exit(1)
+	println("after")
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{6})
+}
+
+func TestCFGIfBothBranchesReturn(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		return
+	} else {
+		return
+	}
+	x = 2
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{11})
+}
+
+func TestCFGIfOneBranchReturns(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		return
+	}
+	x = 2
+	_ = x
+`)
+	wantLines(t, unreachableLines(cfg, fset), nil)
+}
+
+func TestCFGLoopTailAfterBreak(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	for {
+		break
+		println("dead")
+	}
+	println("after loop")
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{7})
+}
+
+func TestCFGCondLoopExits(t *testing.T) {
+	// A conditional for loop can fall through; the tail is reachable.
+	cfg, fset := buildTestCFG(t, `
+	for i := 0; i < 3; i++ {
+		println(i)
+	}
+	println("after")
+`)
+	wantLines(t, unreachableLines(cfg, fset), nil)
+}
+
+func TestCFGInfiniteLoopTail(t *testing.T) {
+	// for {} with no break never reaches the statement after it.
+	cfg, fset := buildTestCFG(t, `
+	for {
+		println("spin")
+	}
+	println("dead")
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{8})
+}
+
+func TestCFGContinueTail(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	for i := 0; i < 3; i++ {
+		continue
+		println("dead")
+	}
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{7})
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+outer:
+	for {
+		for {
+			break outer
+			println("dead inner")
+		}
+	}
+	println("after outer")
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{9})
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	goto done
+	println("dead")
+done:
+	println("after label")
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{6})
+}
+
+func TestCFGSwitchAllCasesReturnWithDefault(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		return
+	default:
+		return
+	}
+	println("dead")
+`)
+	wantLines(t, unreachableLines(cfg, fset), []int{12})
+}
+
+func TestCFGSwitchNoDefaultFallsThrough(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		return
+	}
+	println("reachable")
+`)
+	wantLines(t, unreachableLines(cfg, fset), nil)
+}
+
+func TestCFGSwitchFallthroughLinksCases(t *testing.T) {
+	// Case 2's body is reachable only through case 1's fallthrough when
+	// the head can also branch there directly — both paths must exist.
+	cfg, fset := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	}
+	_ = x
+`)
+	wantLines(t, unreachableLines(cfg, fset), nil)
+}
+
+func TestCFGSelectCaseBodies(t *testing.T) {
+	cfg, fset := buildTestCFG(t, `
+	a := make(chan int)
+	select {
+	case <-a:
+		println("recv")
+	case a <- 1:
+		println("send")
+	}
+	println("after select")
+`)
+	wantLines(t, unreachableLines(cfg, fset), nil)
+}
+
+func TestCFGReachableBlocksConnected(t *testing.T) {
+	// Every reachable block must be in Blocks, and entry is reachable.
+	cfg, _ := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	}
+	for i := 0; i < x; i++ {
+		println(i)
+	}
+`)
+	reach := cfg.Reachable()
+	if !reach[cfg.Entry] {
+		t.Fatal("entry block not reachable")
+	}
+	inBlocks := map[*Block]bool{}
+	for _, b := range cfg.Blocks {
+		inBlocks[b] = true
+	}
+	for b := range reach {
+		if !inBlocks[b] {
+			t.Errorf("reachable block %d missing from Blocks", b.Index)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package lint is a project-native static-analysis suite built on the
+// standard library's go/ast and go/types only (no x/tools dependency).
+// It enforces invariants that go vet cannot see but that the campaign
+// semantics depend on: bit-identical determinism in the numeric
+// packages, no exact float comparisons outside a small allowlist,
+// context hygiene in the distributed plane, lock discipline, no
+// silently dropped I/O errors on the persistence paths — and, through
+// a whole-program layer, goroutine teardown, cross-package lock
+// ordering, interprocedural determinism taint and the 0-allocs/op
+// hot-path contract.
+//
+// # Two layers
+//
+// Package-local analyzers (Analyzer.Run) inspect one type-checked
+// package at a time; Run drives them.  Interprocedural analyzers
+// (Analyzer.RunProgram) need the whole module at once: Program indexes
+// every function by a stable cross-package key ("pkgpath.Name" or
+// "pkgpath.Recv.Name" — packages type-check in separate export-data
+// universes, so *types.Func identity does not survive package
+// boundaries, but string keys do), resolves every call site to static,
+// interface-dispatch and method-value edges with go/defer flags, and
+// builds lightweight per-function control-flow graphs (BuildCFG) for
+// reachability questions.  Program.Run drives both layers; All returns
+// the full ordered roster.
+//
+// # Loading
+//
+// Load shells out to `go list -deps -test -export` once and
+// type-checks every module package against compiler export data, with
+// positions recorded relative to the module root.  The go list run is
+// memoized under <module>/.lintcache, keyed by a content hash of the
+// toolchain version, go.mod/go.sum and every tracked .go file, and
+// validated against the build cache before reuse.  LoadDir loads one
+// testdata package for the golden harness; LoadDirProgram loads a
+// multi-package fixture tree (each subdirectory one package,
+// importable by its directory name) sharing one fileset and importer,
+// which is how the interprocedural golden programs under
+// testdata/prog are exercised.
+//
+// # Directives
+//
+// Diagnostics carry a rule ID (the analyzer name).  A finding can be
+// suppressed in place with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the same line or the line immediately above; the reason is
+// mandatory, and a directive naming a rule that matches no registered
+// analyzer is itself a finding under the pseudo-rule "lint-directive",
+// so a typo'd suppression can never silently protect nothing.
+// Interprocedural analyzers honor suppressions at the source: a
+// suppressed nondeterminism site does not taint its callers.
+//
+// Hot paths opt into the allocation contract with
+//
+//	//lint:hot
+//
+// in (or directly above) a function's doc comment: the function and
+// everything it calls transitively must be allocation-free in steady
+// state (see HotAlloc).  A //lint:hot that attaches to no function
+// declaration is reported.
+//
+// Remaining findings are gated against a committed baseline
+// (scripts/lint_baseline.txt) that may only shrink.
+package lint

@@ -30,13 +30,15 @@ func TestBaselineMatchesFreshRun(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded zero packages")
 	}
-	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, e := range pkg.TypeErrors {
 			t.Errorf("type error in %s: %v", pkg.ImportPath, e)
 		}
-		diags = append(diags, Run(pkg, All())...)
 	}
+	// Program.Run executes the full suite — package-local and
+	// interprocedural — so goroutineleak/lockorder/detflow/hotalloc
+	// findings gate here too, not just in the dedicated lint job.
+	diags := NewProgram(pkgs).Run(All())
 	base, err := ReadBaseline(filepath.Join(root, "scripts", "lint_baseline.txt"))
 	if err != nil {
 		t.Fatal(err)
@@ -50,5 +52,31 @@ func TestBaselineMatchesFreshRun(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Log("fix findings or //lint:ignore with a reason; regenerate with: go run ./cmd/lint -update-baseline ./...")
+	}
+}
+
+// TestAllStableOrder pins the analyzer roster and its order: baselines,
+// -list output and per-analyzer timings all key off this sequence, so a
+// reorder or a silently dropped analyzer must fail loudly.
+func TestAllStableOrder(t *testing.T) {
+	want := []string{
+		"determinism",
+		"floateq",
+		"ctxhygiene",
+		"lockdiscipline",
+		"errdiscard",
+		"goroutineleak",
+		"lockorder",
+		"detflow",
+		"hotalloc",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
 	}
 }

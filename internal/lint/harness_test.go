@@ -31,8 +31,9 @@ type wantDiag struct {
 	hit  bool
 }
 
-// runGolden loads testdata/src/<name>, runs the analyzers, and checks
-// the diagnostics against the package's // want comments.
+// runGolden loads testdata/src/<name> as one package, runs the
+// package-local analyzers, and checks the diagnostics against the
+// package's // want comments.
 func runGolden(t *testing.T, name string, analyzers ...*Analyzer) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
@@ -40,39 +41,64 @@ func runGolden(t *testing.T, name string, analyzers ...*Analyzer) {
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	for _, e := range pkg.TypeErrors {
-		t.Errorf("type error in %s: %v", dir, e)
-	}
+	diags := Run(pkg, analyzers)
+	checkWants(t, []*Package{pkg}, diags)
+}
 
+// runGoldenProgram loads testdata/prog/<name> as a multi-package
+// program (each subdirectory one package, importable by directory
+// name), runs the full-program analyzers over its call graph, and
+// checks the diagnostics against // want comments in any package.
+func runGoldenProgram(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "prog", name)
+	pkgs, err := LoadDirProgram(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	prog := NewProgram(pkgs)
+	diags := prog.Run(analyzers)
+	checkWants(t, pkgs, diags)
+}
+
+// checkWants matches reported diagnostics against the // want comments
+// across all fixture packages: every want must be hit on its line, and
+// every diagnostic must be wanted.
+func checkWants(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
 	var wants []*wantDiag
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
-				if len(args) == 0 {
-					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
-				}
-				for _, a := range args {
-					expr := a[1]
-					if expr == "" {
-						expr = a[2]
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", pkg.ImportPath, e)
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(expr)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					pos := pkg.Fset.Position(c.Pos())
+					args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+					if len(args) == 0 {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
 					}
-					wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re})
+					for _, a := range args {
+						expr := a[1]
+						if expr == "" {
+							expr = a[2]
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+						}
+						wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re})
+					}
 				}
 			}
 		}
 	}
 
-	diags := Run(pkg, analyzers)
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
@@ -104,6 +130,11 @@ func TestGoldenLockDiscipline(t *testing.T)   { runGolden(t, "lockdiscipline", L
 func TestGoldenErrDiscard(t *testing.T)       { runGolden(t, "errdiscard", ErrDiscard) }
 func TestGoldenErrDiscardScope(t *testing.T)  { runGolden(t, "errdiscard_scope", ErrDiscard) }
 
+func TestGoldenGoroutineLeak(t *testing.T) { runGoldenProgram(t, "goroutineleak", GoroutineLeak) }
+func TestGoldenLockOrder(t *testing.T)     { runGoldenProgram(t, "lockorder", LockOrder) }
+func TestGoldenDetFlow(t *testing.T)       { runGoldenProgram(t, "detflow", DetFlow) }
+func TestGoldenHotAlloc(t *testing.T)      { runGoldenProgram(t, "hotalloc", HotAlloc) }
+
 // TestAnalyzerNamesUnique guards the suppression namespace.
 func TestAnalyzerNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
@@ -116,7 +147,7 @@ func TestAnalyzerNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if fmt.Sprint(len(seen)) != "5" {
-		t.Errorf("expected 5 analyzers, have %d", len(seen))
+	if fmt.Sprint(len(seen)) != "9" {
+		t.Errorf("expected 9 analyzers, have %d", len(seen))
 	}
 }

@@ -1,20 +1,3 @@
-// Package lint is a project-native static-analysis suite built on the
-// standard library's go/ast and go/types only (no x/tools dependency).
-// It enforces invariants that go vet cannot see but that the campaign
-// semantics depend on: bit-identical determinism in the numeric
-// packages, no exact float comparisons outside a small allowlist,
-// context hygiene in the distributed plane, lock discipline, and no
-// silently dropped I/O errors on the persistence paths.
-//
-// Diagnostics carry a rule ID (the analyzer name).  A finding can be
-// suppressed in place with
-//
-//	//lint:ignore <rule> <reason>
-//
-// on the same line or the line immediately above; the reason is
-// mandatory so every suppression documents why the invariant does not
-// apply.  Remaining findings are gated against a committed baseline
-// (scripts/lint_baseline.txt) that may only shrink.
 package lint
 
 import (
@@ -22,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -70,17 +52,25 @@ func (d Diagnostic) Key() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
 }
 
-// Analyzer is one named rule.
+// Analyzer is one named rule.  Package-local analyzers set Run;
+// interprocedural analyzers set RunProgram and execute once over the
+// whole program (they need the call graph, so Program.Run is the only
+// driver that runs them).  An analyzer may set both.
 type Analyzer struct {
 	// Name is the rule ID used in diagnostics and //lint:ignore directives.
 	Name string
 	// Doc is a one-line description of the protected invariant.
 	Doc string
-	// Run inspects the package and reports findings via pass.Reportf.
+	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram inspects the whole program (all module packages, call
+	// graph, CFGs) and reports findings via pass.Reportf.
+	RunProgram func(pass *ProgPass)
 }
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order: the five
+// package-local analyzers of the original suite, then the four
+// interprocedural analyzers built on the call-graph engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -88,14 +78,33 @@ func All() []*Analyzer {
 		CtxHygiene,
 		LockDiscipline,
 		ErrDiscard,
+		GoroutineLeak,
+		LockOrder,
+		DetFlow,
+		HotAlloc,
 	}
 }
 
-// Run executes the analyzers over one loaded package and returns the
-// surviving diagnostics (suppressions applied), sorted by position.
+// registeredRules is the valid //lint:ignore rule namespace: every
+// analyzer name plus the directive pseudo-rule itself.
+func registeredRules() map[string]bool {
+	rules := map[string]bool{"lint-directive": true}
+	for _, a := range All() {
+		rules[a.Name] = true
+	}
+	return rules
+}
+
+// Run executes the package-local analyzers over one loaded package and
+// returns the surviving diagnostics (suppressions applied), sorted by
+// position.  Interprocedural analyzers (RunProgram only) are skipped —
+// they need a Program; use Program.Run for the full suite.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:       pkg.Fset,
 			Files:      pkg.Files,
@@ -108,19 +117,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 	}
 	diags = applyIgnores(pkg, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
+	sortDiags(diags)
 	return diags
 }
 
@@ -135,10 +132,13 @@ type ignoreDirective struct {
 const ignorePrefix = "lint:ignore"
 
 // parseIgnores scans a package's comments for //lint:ignore directives.
-// Malformed directives (no rule, or no reason) are themselves reported
-// as findings under the pseudo-rule "lint-directive", so a suppression
-// can never silently fail to document itself.
+// Malformed directives (no rule, or no reason) and directives naming a
+// rule that matches no registered analyzer are themselves reported as
+// findings under the pseudo-rule "lint-directive", so a suppression can
+// never silently fail to document itself — and a typo'd rule name can
+// never silently suppress nothing while looking like it does.
 func parseIgnores(pkg *Package) (dirs []ignoreDirective, bad []Diagnostic) {
+	known := registeredRules()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -160,7 +160,20 @@ func parseIgnores(pkg *Package) (dirs []ignoreDirective, bad []Diagnostic) {
 				}
 				rules := map[string]bool{}
 				for _, r := range strings.Split(fields[0], ",") {
+					if !known[r] {
+						// The unknown rule is reported and excluded from the
+						// directive's rule set: it suppresses nothing.
+						bad = append(bad, Diagnostic{
+							Pos:  pos,
+							Rule: "lint-directive",
+							Msg:  fmt.Sprintf("//lint:ignore names unknown rule %q: no such analyzer is registered, so this suppresses nothing (did you mean one of go run ./cmd/lint -list?)", r),
+						})
+						continue
+					}
 					rules[r] = true
+				}
+				if len(rules) == 0 {
+					continue
 				}
 				dirs = append(dirs, ignoreDirective{
 					file:   pos.Filename,

@@ -49,6 +49,52 @@ func f() time.Time {
 	}
 }
 
+// TestUnknownRuleIgnoreDirective: a //lint:ignore naming a rule that
+// matches no registered analyzer is reported under lint-directive and
+// suppresses nothing — a typo'd rule name can never look like a valid
+// suppression while protecting nothing.
+func TestUnknownRuleIgnoreDirective(t *testing.T) {
+	pkg := writePkg(t, `package nsga2
+
+import "time"
+
+func f() time.Time {
+	//lint:ignore determinsm typo'd rule name must not suppress
+	return time.Now()
+}
+
+func g() time.Time {
+	//lint:ignore determinism,bogusrule the valid half still suppresses
+	return time.Now()
+}
+`)
+	diags := Run(pkg, []*Analyzer{Determinism})
+	var badMsgs, rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+		if d.Rule == "lint-directive" {
+			badMsgs = append(badMsgs, d.Msg)
+		}
+	}
+	joined := strings.Join(rules, ",")
+	if got := strings.Count(joined, "lint-directive"); got != 2 {
+		t.Errorf("want 2 lint-directive findings (one per unknown rule), got %d:\n%s", got, FormatDiags(diags))
+	}
+	for _, m := range badMsgs {
+		if !strings.Contains(m, "unknown rule") {
+			t.Errorf("lint-directive finding does not name the unknown rule: %q", m)
+		}
+	}
+	// f's finding survives (its directive was all-typo); g's is suppressed
+	// by the valid half of its comma list.
+	if !strings.Contains(joined, "determinism") {
+		t.Errorf("typo'd directive must not suppress f's finding; got rules %q", joined)
+	}
+	if got := strings.Count(joined, "determinism"); got != 1 {
+		t.Errorf("want exactly 1 surviving determinism finding (g suppressed), got %d:\n%s", got, FormatDiags(diags))
+	}
+}
+
 // TestIgnoreSameLineAndLineAbove pins the two accepted placements.
 func TestIgnoreSameLineAndLineAbove(t *testing.T) {
 	pkg := writePkg(t, `package nsga2

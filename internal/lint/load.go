@@ -3,6 +3,7 @@ package lint
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -14,6 +15,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -64,16 +66,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		"list", "-e", "-deps", "-test", "-export",
 		"-json=Dir,ImportPath,Name,Export,Standard,DepOnly,ForTest,GoFiles,Error",
 	}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
-	}
 
 	moduleDir, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	out, err := listOutput(moduleDir, dir, args)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +147,105 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return loaded, nil
 }
 
+// listOutput memoizes the expensive `go list -deps -test -export` run
+// behind a content-hash cache under <module>/.lintcache.  The key
+// covers the go toolchain version, the list arguments, go.mod/go.sum
+// and the content of every tracked .go file, so any edit anywhere in
+// the module misses the cache; a hit is additionally validated by
+// checking that every referenced export file still exists (the build
+// cache may have been pruned since the entry was written).
+func listOutput(moduleDir, dir string, args []string) ([]byte, error) {
+	key, keyErr := golistCacheKey(moduleDir, args)
+	cacheDir := filepath.Join(moduleDir, ".lintcache")
+	cachePath := filepath.Join(cacheDir, "golist-"+key+".json")
+	if keyErr == nil {
+		if out, err := os.ReadFile(cachePath); err == nil && exportsExist(out) {
+			return out, nil
+		}
+	}
+
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	if keyErr == nil {
+		if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+			// One live entry: stale keys are dead weight, drop them.
+			if old, err := filepath.Glob(filepath.Join(cacheDir, "golist-*.json")); err == nil {
+				for _, f := range old {
+					os.Remove(f)
+				}
+			}
+			os.WriteFile(cachePath, out, 0o644)
+		}
+	}
+	return out, nil
+}
+
+// golistCacheKey hashes everything that can change go list output.
+func golistCacheKey(moduleDir string, args []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, strings.Join(args, "\x00"))
+	for _, name := range []string{"go.mod", "go.sum"} {
+		b, err := os.ReadFile(filepath.Join(moduleDir, name))
+		if err == nil {
+			fmt.Fprintf(h, "%s %d\n", name, len(b))
+			h.Write(b)
+		}
+	}
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != moduleDir && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(moduleDir, path)
+		fmt.Fprintf(h, "%s %d\n", filepath.ToSlash(rel), len(b))
+		h.Write(b)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:24], nil
+}
+
+// exportsExist validates a cached go list stream: every export file it
+// references must still be present in the build cache.
+func exportsExist(out []byte) bool {
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			return true
+		} else if err != nil {
+			return false
+		}
+		if p.Export != "" {
+			if _, err := os.Stat(p.Export); err != nil {
+				return false
+			}
+		}
+	}
+}
+
 // LoadDir parses every .go file directly inside dir as a single package
 // and type-checks it, resolving imports on demand via `go list -export`.
 // This is how the golden-test harness loads testdata packages that are
@@ -175,6 +272,13 @@ func LoadDir(dir string) (*Package, error) {
 // checkPackage parses t's files and runs the type checker over them.
 func checkPackage(t *listPkg, baseDir string, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
 	fset := token.NewFileSet()
+	return checkPackageWith(t, baseDir, fset, importer.ForCompiler(fset, "gc", lookup))
+}
+
+// checkPackageWith is checkPackage with caller-supplied fileset and
+// importer, so multi-package fixture programs can share one type
+// universe (stdlib and sibling types must unify across packages).
+func checkPackageWith(t *listPkg, baseDir string, fset *token.FileSet, imp types.Importer) (*Package, error) {
 	var files []*ast.File
 	for _, name := range t.GoFiles {
 		abs := filepath.Join(t.Dir, name)
@@ -203,7 +307,7 @@ func checkPackage(t *listPkg, baseDir string, lookup func(path string) (io.ReadC
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Importer: imp,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	// "P [P.test]" type-checks under path P so self-references resolve.
@@ -225,6 +329,111 @@ func checkPackage(t *listPkg, baseDir string, lookup func(path string) (io.ReadC
 		Info:       info,
 		TypeErrors: typeErrs,
 	}, nil
+}
+
+// LoadDirProgram loads a multi-package fixture tree: every immediate
+// subdirectory of dir containing .go files is one package, addressed by
+// its directory name as import path (`import "util"`).  All packages
+// share one fileset and one importer, so sibling and stdlib types
+// unify across the mini program — the same property the export-data
+// loader gives real module packages.  This is how the golden harness
+// exercises the interprocedural analyzers, which only produce findings
+// across package boundaries.
+func LoadDirProgram(dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range sub {
+			if !f.IsDir() && strings.HasSuffix(f.Name(), ".go") {
+				names = append(names, e.Name())
+				break
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no package directories in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	im := &srcImporter{
+		dir:     dir,
+		fset:    fset,
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	im.gc = importer.ForCompiler(fset, "gc", onDemandLookup(dir))
+	var pkgs []*Package
+	for _, name := range names {
+		p, err := im.load(name)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// srcImporter type-checks fixture packages from source on demand,
+// memoized, falling back to compiler export data for everything else.
+type srcImporter struct {
+	dir     string
+	fset    *token.FileSet
+	gc      types.Importer
+	loaded  map[string]*Package
+	loading map[string]bool
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(im.dir, path)); err == nil && st.IsDir() {
+		p, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return im.gc.Import(path)
+}
+
+func (im *srcImporter) load(rel string) (*Package, error) {
+	if p, ok := im.loaded[rel]; ok {
+		return p, nil
+	}
+	if im.loading[rel] {
+		return nil, fmt.Errorf("import cycle through fixture package %q", rel)
+	}
+	im.loading[rel] = true
+	defer delete(im.loading, rel)
+
+	pkgDir := filepath.Join(im.dir, rel)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	t := &listPkg{Dir: pkgDir, ImportPath: rel, GoFiles: files}
+	p, err := checkPackageWith(t, im.dir, im.fset, im)
+	if err != nil {
+		return nil, err
+	}
+	im.loaded[rel] = p
+	return p, nil
 }
 
 // exportLookup resolves import paths against the export files collected

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// loadEngineProgram loads the two-package engine fixture and builds its
+// call graph.
+func loadEngineProgram(t *testing.T) *Program {
+	t.Helper()
+	pkgs, err := LoadDirProgram(filepath.Join("testdata", "prog", "engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			t.Fatalf("type error in %s: %v", pkg.ImportPath, e)
+		}
+	}
+	return NewProgram(pkgs)
+}
+
+// edgesTo returns n's outgoing edges landing on callee key.
+func edgesTo(n *FuncNode, key string) []CallEdge {
+	var out []CallEdge
+	for _, e := range n.Out {
+		if e.Callee.Key == key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func mustNode(t *testing.T, prog *Program, key string) *FuncNode {
+	t.Helper()
+	n := prog.Funcs[key]
+	if n == nil {
+		var keys []string
+		for k := range prog.Funcs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		t.Fatalf("no FuncNode for %q; have %v", key, keys)
+	}
+	return n
+}
+
+// TestEngineFuncKeys pins the cross-package key scheme: pkgpath.Name
+// for functions, pkgpath.Recv.Name for methods.
+func TestEngineFuncKeys(t *testing.T) {
+	prog := loadEngineProgram(t)
+	for _, key := range []string{
+		"alpha.Helper",
+		"alpha.Direct",
+		"alpha.Recurse",
+		"alpha.Dispatch",
+		"alpha.Impl.Run",
+		"alpha.Hot",
+		"beta.Other.Run",
+		"beta.Cross",
+	} {
+		mustNode(t, prog, key)
+	}
+}
+
+func TestEngineNodesDeterministicOrder(t *testing.T) {
+	prog := loadEngineProgram(t)
+	nodes := prog.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Key >= nodes[i].Key {
+			t.Fatalf("Nodes() not strictly key-sorted: %q before %q", nodes[i-1].Key, nodes[i].Key)
+		}
+	}
+}
+
+func TestEngineStaticEdge(t *testing.T) {
+	prog := loadEngineProgram(t)
+	es := edgesTo(mustNode(t, prog, "alpha.Direct"), "alpha.Helper")
+	if len(es) != 1 || es[0].Kind != CallStatic {
+		t.Fatalf("Direct→Helper edges = %+v, want one CallStatic", es)
+	}
+}
+
+func TestEngineRecursionEdge(t *testing.T) {
+	prog := loadEngineProgram(t)
+	es := edgesTo(mustNode(t, prog, "alpha.Recurse"), "alpha.Recurse")
+	if len(es) != 1 || es[0].Kind != CallStatic {
+		t.Fatalf("Recurse self-edges = %+v, want one CallStatic", es)
+	}
+}
+
+func TestEngineCrossPackageEdge(t *testing.T) {
+	prog := loadEngineProgram(t)
+	es := edgesTo(mustNode(t, prog, "beta.Cross"), "alpha.Helper")
+	if len(es) != 1 || es[0].Kind != CallStatic {
+		t.Fatalf("Cross→Helper edges = %+v, want one CallStatic", es)
+	}
+}
+
+// TestEngineDynamicDispatch: an interface call fans out to every
+// compatible concrete method in the module, across packages.
+func TestEngineDynamicDispatch(t *testing.T) {
+	prog := loadEngineProgram(t)
+	n := mustNode(t, prog, "alpha.Dispatch")
+	for _, key := range []string{"alpha.Impl.Run", "beta.Other.Run"} {
+		es := edgesTo(n, key)
+		if len(es) != 1 || es[0].Kind != CallDynamic {
+			t.Errorf("Dispatch→%s edges = %+v, want one CallDynamic", key, es)
+		}
+	}
+}
+
+// TestEngineMethodValueRef: i.Run referenced without call position is a
+// CallRef edge — the method may run later through the returned value.
+func TestEngineMethodValueRef(t *testing.T) {
+	prog := loadEngineProgram(t)
+	es := edgesTo(mustNode(t, prog, "alpha.Bind"), "alpha.Impl.Run")
+	if len(es) != 1 || es[0].Kind != CallRef {
+		t.Fatalf("Bind→Impl.Run edges = %+v, want one CallRef", es)
+	}
+}
+
+func TestEngineSpawnFlags(t *testing.T) {
+	prog := loadEngineProgram(t)
+	n := mustNode(t, prog, "alpha.Spawn")
+	goEdges := edgesTo(n, "alpha.Direct")
+	if len(goEdges) != 1 || !goEdges[0].Go || goEdges[0].Deferred {
+		t.Errorf("Spawn→Direct = %+v, want one edge with Go set", goEdges)
+	}
+	defEdges := edgesTo(n, "alpha.Helper")
+	if len(defEdges) != 1 || !defEdges[0].Deferred || defEdges[0].Go {
+		t.Errorf("Spawn→Helper = %+v, want one edge with Deferred set", defEdges)
+	}
+}
+
+// TestEngineUnreachableCall: the CFG proves the call after Dead's
+// return unreachable, and unreachableIn answers through the memoized
+// graph.
+func TestEngineUnreachableCall(t *testing.T) {
+	prog := loadEngineProgram(t)
+	n := mustNode(t, prog, "alpha.Dead")
+	es := edgesTo(n, "alpha.Helper")
+	if len(es) != 1 {
+		t.Fatalf("Dead→Helper edges = %+v, want exactly one", es)
+	}
+	if !prog.unreachableIn(n, es[0].Site.Pos()) {
+		t.Error("call after return not reported unreachable")
+	}
+	if prog.unreachableIn(n, n.Decl.Body.List[0].Pos()) {
+		t.Error("first statement wrongly reported unreachable")
+	}
+}
+
+func TestEngineHotRoots(t *testing.T) {
+	prog := loadEngineProgram(t)
+	roots := prog.HotRoots()
+	if len(roots) != 1 || roots[0].Key != "alpha.Hot" {
+		var keys []string
+		for _, r := range roots {
+			keys = append(keys, r.Key)
+		}
+		t.Fatalf("HotRoots = %v, want [alpha.Hot]", keys)
+	}
+	if len(prog.hotOrphans) != 0 {
+		t.Errorf("engine fixture has %d orphan //lint:hot directives, want 0", len(prog.hotOrphans))
+	}
+}
+
+// TestEngineSuppressedAt: the program indexes every package's ignore
+// directives so interprocedural analyzers can keep suppressed sources
+// out of their summaries.
+func TestEngineSuppressedAt(t *testing.T) {
+	prog := loadEngineProgram(t)
+	dirs := prog.ignores["alpha/alpha.go"]
+	if len(dirs) != 1 {
+		t.Fatalf("ignores[alpha/alpha.go] = %+v, want one directive", dirs)
+	}
+	line := dirs[0].line
+	if !prog.suppressedAt("alpha/alpha.go", line, "determinism") {
+		t.Error("same-line suppression not honored")
+	}
+	if !prog.suppressedAt("alpha/alpha.go", line+1, "determinism") {
+		t.Error("line-above suppression not honored")
+	}
+	if prog.suppressedAt("alpha/alpha.go", line, "floateq") {
+		t.Error("directive suppresses a rule it does not name")
+	}
+	if prog.suppressedAt("beta/beta.go", line, "determinism") {
+		t.Error("directive leaks into another file")
+	}
+}

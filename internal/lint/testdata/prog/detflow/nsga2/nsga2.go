@@ -1,0 +1,31 @@
+// Package nsga2 is in the deterministic scope: values it consumes must
+// not derive from wall clocks or map iteration order.
+package nsga2
+
+import "timeutil"
+
+// Seed consumes a wall-clock-derived helper return.
+func Seed() int64 {
+	return timeutil.Stamp() // want `detflow: call to timeutil\.Stamp returns a wall-clock-derived value`
+}
+
+// Raw consumes map-ordered keys straight from the helper.
+func Raw(m map[string]int) []string {
+	return timeutil.Keys(m) // want `detflow: call to timeutil\.Keys returns a map-iteration-ordered value`
+}
+
+// Names is deterministic: the helper sorts before returning.
+func Names(m map[string]int) []string {
+	return timeutil.SortedKeys(m)
+}
+
+// Size is order-insensitive.
+func Size(m map[string]int) int {
+	return timeutil.Count(m)
+}
+
+// Normalized consumes the suppressed helper; the reasoned ignore at the
+// source keeps the summary clean.
+func Normalized(m map[string]int) []string {
+	return timeutil.RawOrder(m)
+}

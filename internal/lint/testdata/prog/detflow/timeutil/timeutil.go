@@ -1,0 +1,58 @@
+// Package timeutil is the non-deterministic helper side of the detflow
+// fixture: some of its returns derive from wall-clock reads or map
+// iteration order, some are normalized or order-insensitive.
+package timeutil
+
+import (
+	"sort"
+	"time"
+)
+
+// Stamp returns a wall-clock tag, laundered through a helper.
+func Stamp() int64 {
+	return nanos()
+}
+
+func nanos() int64 {
+	return time.Now().UnixNano()
+}
+
+// Keys returns m's keys in map-iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the map-order taint is normalized
+// away before the value escapes.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count is order-insensitive even though it ranges over a map.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// RawOrder returns keys unsorted; the in-place reasoned ignore keeps
+// the source out of interprocedural summaries.
+func RawOrder(m map[string]int) []string {
+	var out []string
+	//lint:ignore detflow callers normalize the order before any deterministic use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package alpha is the engine-test fixture: it exercises every call
+// edge kind the call graph resolves (static, recursive, dynamic
+// dispatch, method-value references, go/defer flags) plus the
+// //lint:hot and //lint:ignore directive machinery.
+package alpha
+
+// Runner is the dispatch interface.
+type Runner interface {
+	Run(x int) int
+}
+
+// Impl is alpha's concrete Runner.
+type Impl struct{ n int }
+
+// Run implements Runner.
+func (i *Impl) Run(x int) int { return x + i.n }
+
+// Helper is a plain function.
+func Helper(x int) int { return x * 2 }
+
+// Direct calls Helper statically.
+func Direct() int { return Helper(1) }
+
+// Recurse calls itself.
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Recurse(n - 1)
+}
+
+// Dispatch calls through the interface: the engine must fan out to
+// every module method with a compatible name and shape.
+func Dispatch(r Runner) int { return r.Run(3) }
+
+// Bind references a method without calling it — a CallRef edge.
+func Bind(i *Impl) func(int) int { return i.Run }
+
+// Spawn marks edges with the go/defer flags.
+func Spawn() {
+	go Direct()
+	defer Helper(2)
+}
+
+// Dead has a statically unreachable call after its return.
+func Dead() {
+	return
+	Helper(9)
+}
+
+// Sorted carries an in-place suppression the engine must index.
+func Sorted(m map[string]int) []string {
+	var out []string
+	//lint:ignore determinism callers sort before any ordered use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+//lint:hot
+func Hot() int { return Helper(3) }

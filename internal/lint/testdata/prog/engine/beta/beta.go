@@ -1,0 +1,15 @@
+// Package beta is the cross-package half of the engine fixture.
+package beta
+
+import "alpha"
+
+// Other has the Runner shape, so interface dispatch in alpha must
+// resolve to it too — packages type-check in separate universes, and
+// the engine matches by name and shape.
+type Other struct{}
+
+// Run has the Runner shape.
+func (Other) Run(x int) int { return x }
+
+// Cross calls into alpha statically across the package boundary.
+func Cross() int { return alpha.Helper(5) }

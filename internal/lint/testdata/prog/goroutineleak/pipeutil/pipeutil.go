@@ -1,0 +1,11 @@
+// Package pipeutil is the cross-package half of the goroutineleak
+// fixture: its Pump blocks on a channel nobody in the program drains.
+package pipeutil
+
+// Events is an unbuffered fan-in with no consumer anywhere.
+var Events = make(chan int)
+
+// Pump publishes one event; with no consumer it parks forever.
+func Pump() {
+	Events <- 1
+}

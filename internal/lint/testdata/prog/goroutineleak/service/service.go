@@ -1,0 +1,88 @@
+// Package service is in the goroutineleak scope: every spawn must have
+// a reachable teardown story.
+package service
+
+import (
+	"context"
+
+	"pipeutil"
+)
+
+// Worker fans results out without a consumer or buffer: the spawned
+// goroutine parks on the send forever once the caller returns.
+func Worker() {
+	results1 := make(chan int)
+	go func() { // want `goroutineleak: goroutine may block forever on a send to results1`
+		results1 <- 1
+	}()
+}
+
+// Buffered spawns are fine: the send lands in the buffer.
+func Buffered() {
+	results2 := make(chan int, 4)
+	go func() {
+		results2 <- 1
+	}()
+}
+
+// Drained spawns are fine: a range loop consumes the channel.
+func Drained() {
+	results3 := make(chan int)
+	go func() {
+		results3 <- 1
+	}()
+	for range results3 {
+	}
+}
+
+// Collector blocks on a receive nobody will ever satisfy.
+func Collector() {
+	inbox1 := make(chan int)
+	go func() { // want `goroutineleak: goroutine may block forever on a receive from inbox1`
+		<-inbox1
+	}()
+}
+
+// Closed receives terminate when the producer closes.
+func Closed() {
+	inbox2 := make(chan int)
+	go func() {
+		<-inbox2
+	}()
+	close(inbox2)
+}
+
+// CtxGuarded selects against ctx.Done, the canonical teardown.
+func CtxGuarded(ctx context.Context, inbox3 chan int) {
+	go func() {
+		select {
+		case <-inbox3:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// Remote spawns a cross-package pump whose blocking send lives in
+// pipeutil — the leak must be found through the call graph and reported
+// at this spawn with the remote site named.
+func Remote() {
+	go pipeutil.Pump() // want `goroutineleak: goroutine may block forever on a send to Events`
+}
+
+// Semaphore releases the token the spawner deposited before the spawn;
+// the deferred receive from the buffered channel cannot block.
+func Semaphore() {
+	tokens := make(chan struct{}, 2)
+	tokens <- struct{}{}
+	go func() {
+		defer func() { <-tokens }()
+	}()
+}
+
+// Acknowledged documents its teardown story with a reasoned ignore.
+func Acknowledged(acks chan int) {
+	//lint:ignore goroutineleak the caller drains acks in its Close path
+	go func() {
+		acks <- 1
+	}()
+}

@@ -1,0 +1,58 @@
+// Package hotpath exercises the //lint:hot contract: annotated
+// functions and their transitive callees must be allocation-free in
+// steady state.
+package hotpath
+
+import "mathutil"
+
+// Scratch is the reusable per-worker buffer.
+type Scratch struct {
+	buf []float64
+	out []float64
+}
+
+var debugHook func()
+
+//lint:hot
+func (s *Scratch) Step(x []float64) float64 {
+	tmp := make([]float64, len(x)) // want `hotalloc: make in //lint:hot hotpath\.Scratch\.Step`
+	copy(tmp, x)
+	s.buf = append(s.buf, x...) // field-backed buffer: amortized, clean
+	return mathutil.Scale(tmp, 2)
+}
+
+//lint:hot
+func (s *Scratch) Grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) // capacity guard: amortized, clean
+	}
+}
+
+//lint:hot
+func (s *Scratch) Deep(x []float64) float64 {
+	return mathutil.Copied(x) // the finding lands at the callee's make
+}
+
+//lint:hot
+func (s *Scratch) Reset() {
+	out := s.out[:0]
+	for _, v := range s.buf {
+		out = append(out, v) // re-rooted local: amortized, clean
+	}
+	s.out = out
+}
+
+//lint:hot
+func Trace(step int) {
+	record(step) // want `hotalloc: argument step boxes into an interface`
+}
+
+func record(v interface{}) { _ = v }
+
+//lint:hot
+func Arm(n int) {
+	debugHook = func() { _ = n } // want `hotalloc: closure in //lint:hot hotpath\.Arm`
+}
+
+//lint:hot // want `hotalloc: //lint:hot is not attached to a function declaration`
+var Budget = 64

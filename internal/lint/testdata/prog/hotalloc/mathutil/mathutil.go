@@ -1,0 +1,20 @@
+// Package mathutil is the cross-package half of the hotalloc fixture:
+// Copied allocates and is pulled into a hot closure by hotpath.
+package mathutil
+
+// Scale multiplies in place and sums — allocation-free.
+func Scale(x []float64, k float64) float64 {
+	t := 0.0
+	for i := range x {
+		x[i] *= k
+		t += x[i]
+	}
+	return t
+}
+
+// Copied sums a defensive copy; the copy allocates per call.
+func Copied(x []float64) float64 {
+	y := make([]float64, len(x)) // want `hotalloc: make in //lint:hot path hotpath\.Scratch\.Deep`
+	copy(y, x)
+	return Scale(y, 1)
+}

@@ -1,0 +1,13 @@
+// Package a owns one lock class of the lockorder fixture cycle.
+package a
+
+import "sync"
+
+// Mu guards a's state.
+var Mu sync.Mutex
+
+// DoLocked runs one step under a's lock.
+func DoLocked() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package b owns the other lock class of the lockorder fixture cycle.
+package b
+
+import "sync"
+
+// Mu guards b's state.
+var Mu sync.Mutex
+
+// DoLocked runs one step under b's lock.
+func DoLocked() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

@@ -1,0 +1,31 @@
+// Package c closes the lockorder fixture cycle: AB holds a's lock
+// while (transitively) taking b's, BA does the inversion.  Two
+// goroutines entering from different ends deadlock.
+package c
+
+import (
+	"a"
+	"b"
+)
+
+// AB holds a's lock while calling into b.
+func AB() {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.DoLocked() // want `lockorder: lock-order cycle \(potential deadlock\)`
+}
+
+// BA holds b's lock while calling into a — the inversion.
+func BA() {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.DoLocked()
+}
+
+// Straight acquires in the global order only; it adds edges but no
+// cycle of its own.
+func Straight() {
+	a.Mu.Lock()
+	b.DoLocked()
+	a.Mu.Unlock()
+}

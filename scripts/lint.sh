@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # Project-native static analysis gate.
 #
-# Runs the internal/lint suite (determinism, floateq, ctxhygiene,
-# lockdiscipline, errdiscard) over the whole module and fails on any
-# finding not covered by scripts/lint_baseline.txt.  The baseline is a
-# ratchet: it may only shrink, and stale entries fail the gate too.
+# Runs the internal/lint suite over the whole module and fails on any
+# finding not covered by scripts/lint_baseline.txt.  Nine analyzers:
+# five package-local (determinism, floateq, ctxhygiene, lockdiscipline,
+# errdiscard) and four interprocedural over the cross-package call
+# graph (goroutineleak, lockorder, detflow, hotalloc).  The baseline is
+# a ratchet: it may only shrink, and stale entries fail the gate too.
+#
+# The expensive `go list -export` load is memoized in .lintcache/
+# (content-hashed over the toolchain, go.mod/go.sum and every tracked
+# .go file), so repeat runs on an unchanged tree skip straight to
+# analysis.
 #
 # Usage:
-#   scripts/lint.sh                 # gate (CI entry point)
+#   scripts/lint.sh                   # gate (CI entry point)
+#   scripts/lint.sh -format=github    # gate with GitHub annotations
 #   scripts/lint.sh -update-baseline  # rewrite the baseline after fixes
 set -euo pipefail
 cd "$(dirname "$0")/.."
