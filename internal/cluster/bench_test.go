@@ -191,6 +191,103 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 }
 
+// benchSchedulerScaleOut is the scale-out twin of benchScheduler: the
+// same sustained submit→assign→result load, but the whole fleet — every
+// worker plus the client — either multiplexes over a small shared TCP
+// pool (mode=mux, 2 physical connections) or keeps one TCP connection
+// per peer (mode=perconn, the BENCH_7 configuration).  The coalescing
+// budget stays 0 — on the single-core bench box, batching purely
+// opportunistically (frames staged while a flush is in flight leave
+// together) wins over paying the timer latency.  bench.sh divides each
+// point by the BENCH_7 binary baseline into
+// sched_throughput_speedup_vs_bench7 in BENCH_8.json.
+func benchSchedulerScaleOut(b *testing.B, workers int, muxed bool) {
+	const (
+		muxConns = 2
+		coalesce = 0
+	)
+	cfg := SchedulerConfig{}
+	if muxed {
+		cfg.Coalesce = coalesce
+	}
+	sched, err := NewSchedulerWithConfig("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sched.Close()
+
+	var dialer *MuxDialer
+	if muxed {
+		dialer = &MuxDialer{Addr: sched.Addr(), Conns: muxConns, Coalesce: coalesce}
+		defer dialer.Close()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < workers; i++ {
+		var w *Worker
+		if muxed {
+			w, err = NewWorkerMux(dialer, fmt.Sprintf("w%d", i), echoHandler)
+		} else {
+			w, err = NewWorker(sched.Addr(), fmt.Sprintf("w%d", i), echoHandler)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		go func() { _ = w.Run(ctx) }()
+	}
+	for sched.Stats().Workers < int64(workers) {
+		time.Sleep(time.Millisecond)
+	}
+	var client *Client
+	if muxed {
+		client, err = NewClientMux(dialer)
+	} else {
+		client, err = NewClient(sched.Addr())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	payload := benchPayload()
+	inflight := 2 * workers
+	if inflight > 256 {
+		inflight = 256
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := client.Submit(ctx, payload); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// BenchmarkSchedulerThroughputScaleOut is the fleet-size grid for the
+// mux PR: throughput by worker count, multiplexed over 4 shared TCP
+// connections vs one connection per peer.  The workers=1000 points
+// exist to demonstrate the fleet completes at a size the per-connection
+// path only barely sustains.
+func BenchmarkSchedulerThroughputScaleOut(b *testing.B) {
+	for _, workers := range []int{1, 10, 100, 500, 1000} {
+		for _, mode := range []string{"mux", "perconn"} {
+			b.Run(fmt.Sprintf("workers=%d/mode=%s", workers, mode), func(b *testing.B) {
+				benchSchedulerScaleOut(b, workers, mode == "mux")
+			})
+		}
+	}
+}
+
 // BenchmarkSchedulerThroughputChaos repeats the mid-size grid points
 // through the chaos proxy (no faults armed), paying one extra TCP hop
 // per direction — closer to a real network path than bare loopback.

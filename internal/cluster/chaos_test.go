@@ -153,6 +153,32 @@ func (cp *chaosProxy) CutAll() {
 	}
 }
 
+// CutPipe severs the i-th accepted pipe (0-based, accept order), leaving
+// every other pipe flowing — the blast-radius probe for mux tests, where
+// one physical connection carries several logical streams and cutting it
+// must cost exactly those streams.
+func (cp *chaosProxy) CutPipe(i int) bool {
+	cp.mu.Lock()
+	var p *chaosPipe
+	if i >= 0 && i < len(cp.pipes) {
+		p = cp.pipes[i]
+		cp.pipes = append(cp.pipes[:i], cp.pipes[i+1:]...)
+	}
+	cp.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.close()
+	return true
+}
+
+// PipeCount reports how many live pipes the proxy is forwarding.
+func (cp *chaosProxy) PipeCount() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.pipes)
+}
+
 // SetBlackhole toggles silent byte-dropping: connections stay up but no
 // data flows, the signature of a hung NIC or a stalled node.
 func (cp *chaosProxy) SetBlackhole(on bool) {

@@ -42,6 +42,7 @@ type Client struct {
 
 	addr      string
 	transport Transport
+	dialer    Dialer
 	wire      wireCounters
 
 	mu      sync.Mutex // guards conn/cd writes, waiters, readErr, closed
@@ -66,7 +67,19 @@ func NewClient(addr string) (*Client, error) {
 // NewClientTransport dials the scheduler, speaking the given framing for
 // the life of the client (reconnections included).
 func NewClientTransport(addr string, tr Transport) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return newClient(addr, tr, tcpDialer(addr))
+}
+
+// NewClientMux dials the scheduler through a shared MuxDialer: the
+// client's "connection" is one logical stream over the dialer's TCP
+// pool (binary framing, the only framing mux carries).  Reconnection
+// opens a fresh stream, lazily re-establishing a dead physical session.
+func NewClientMux(d *MuxDialer) (*Client, error) {
+	return newClient(d.Addr, TransportBinary, d)
+}
+
+func newClient(addr string, tr Transport, dialer Dialer) (*Client, error) {
+	conn, err := dialer.Dial()
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +87,7 @@ func NewClientTransport(addr string, tr Transport) (*Client, error) {
 		MaxReconnects: 10,
 		addr:          addr,
 		transport:     tr,
+		dialer:        dialer,
 		conn:          conn,
 		waiters:       make(map[string]*pendingCall),
 		closeCh:       make(chan struct{}),
@@ -139,7 +153,7 @@ func (c *Client) reconnectAndReplay(bo *backoff, cause error) bool {
 			c.failAll(errors.New("cluster: client closed"))
 			return false
 		}
-		conn, err := net.Dial("tcp", c.addr)
+		conn, err := c.dialer.Dial()
 		if err == nil {
 			if replayErr := c.adopt(conn); replayErr == nil {
 				bo.reset()

@@ -305,21 +305,23 @@ func fromWire(wm *wire.Message) (*message, error) {
 
 // negotiate inspects the first byte of an accepted connection and
 // returns the codec for whichever framing the peer is speaking, plus
-// the buffered reader every subsequent read must go through.  Binary
-// frames open with wire.MagicByte0 (0xD5); JSON frames open with a
-// length byte that the 64 MiB cap keeps ≤ 0x04.
-func negotiate(conn io.ReadWriter, c *wireCounters) (codec, error) {
+// the buffered reader every subsequent read must go through — a mux
+// hello hands that reader (and any bytes it buffered) over to the
+// session layer, so nothing on the stream is lost in the takeover.
+// Binary frames open with wire.MagicByte0 (0xD5); JSON frames open
+// with a length byte that the 64 MiB cap keeps ≤ 0x04.
+func negotiate(conn io.ReadWriter, c *wireCounters) (codec, *bufio.Reader, error) {
 	br := bufio.NewReaderSize(countingReader{conn, &c.bytesIn}, 16<<10)
 	first, err := br.Peek(1)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr := TransportJSON
 	if first[0] == wire.MagicByte0 {
 		tr = TransportBinary
 	}
 	c.countConn(tr)
-	return newCodec(tr, br, conn, c), nil
+	return newCodec(tr, br, conn, c), br, nil
 }
 
 // countingReader tallies bytes as they arrive off the connection, ahead

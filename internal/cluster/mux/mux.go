@@ -1,0 +1,145 @@
+// Package mux multiplexes many logical cluster connections over one
+// physical TCP connection — the P.B.NET xnet/virtualconn idiom adapted
+// to the repro wire format.  The paper's campaigns fan hundreds of
+// fitness evaluations per generation out to a worker fleet; at that
+// scale one TCP connection (and one read goroutine, one send buffer,
+// one slow-start) per logical worker is the bottleneck long before the
+// codec is.  A Session carries any number of Streams, each of which is
+// an ordinary net.Conn speaking the ordinary cluster protocol, so the
+// scheduler, worker and client layers above are unchanged.
+//
+// Three mechanisms do the work:
+//
+//   - Stream framing.  Every mux frame is a standard wire frame
+//     (TypeMuxOpen/MuxData/MuxClose/MuxWindow) whose 4-byte big-endian
+//     stream id rides in the header's task-id field, so the framing
+//     layer needed no new envelope — only new types.
+//
+//   - Per-stream flow control.  Each stream starts with Window bytes of
+//     send credit; data consumes it, and the receiver grants credit
+//     back (MuxWindow) as the application drains its buffer.  A slow
+//     logical worker therefore stalls only its own stream: the session
+//     keeps moving frames for its peers, and the receive buffer per
+//     stream is bounded by Window.
+//
+//   - Adaptive frame coalescing.  Writers stage frames into a shared
+//     buffer; a flusher goroutine writes the whole buffer with one
+//     syscall.  While a write is in flight new frames pile up behind it
+//     and leave in the next flush (classic writev batching), and under
+//     sustained load an optional latency budget (Options.Coalesce)
+//     holds the flusher briefly to deepen batches.  An idle session
+//     skips the budget entirely, so a lone heartbeat still leaves at
+//     single-frame latency.  Frames that left behind at least one other
+//     frame carry wire.FlagCoalesced, making the batching observable on
+//     the wire and in Counters.
+//
+// Both endpoints use the same fixed Window, so no negotiation happens;
+// a peer that overruns the window is protocol-broken and the session is
+// torn down.  Closing the physical connection fails every stream on it
+// and nothing else — the blast radius the chaos tests pin.
+package mux
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Window is the per-stream flow-control window in bytes: the initial
+// send credit each side holds for a new stream, and the bound on a
+// stream's receive buffer.  It is a protocol constant (both endpoints
+// must agree), sized so a stream can hold ~40 typical 6 KiB task
+// payloads before backpressure engages.
+const Window = 256 << 10
+
+// maxChunk bounds one MuxData frame body so a large stream write cannot
+// monopolize the shared session pipe; interleaving chunks from many
+// streams is what keeps head-of-line latency flat.
+const maxChunk = 32 << 10
+
+// maxStage bounds the staged-but-unflushed bytes in a session before
+// stream writers block; it caps session memory when the physical
+// connection stalls while still letting deep batches form.
+const maxStage = 1 << 20
+
+// Session-failure sentinels.
+var (
+	// ErrSessionClosed reports a stream or session operation after a
+	// local Close.
+	ErrSessionClosed = errors.New("mux: session closed")
+	// ErrStreamClosed reports I/O on a locally closed stream.
+	ErrStreamClosed = errors.New("mux: stream closed")
+	// ErrProtocol reports a peer that broke the mux protocol (bad stream
+	// id, duplicate open, window overrun); the session is torn down.
+	ErrProtocol = errors.New("mux: protocol violation")
+)
+
+// Options configure a Session.
+type Options struct {
+	// Coalesce is the latency budget for adaptive batching: after a
+	// flush that carried more than one frame (i.e. under load) the
+	// flusher waits up to this long for more frames before the next
+	// write.  Zero keeps only the opportunistic batching that falls out
+	// of frames arriving while a write is in flight.
+	Coalesce time.Duration
+	// Counters, when non-nil, aggregates this session's activity into a
+	// shared counter set (the scheduler uses one set across all
+	// sessions, the dialer another).
+	Counters *Counters
+}
+
+// Counters aggregates mux activity across sessions.  All fields are
+// atomic; a zero Counters is ready to use.
+type Counters struct {
+	sessions, streams   atomic.Int64
+	framesIn, framesOut atomic.Int64
+	flushes, batched    atomic.Int64
+	coalesced           atomic.Int64
+}
+
+// Stats is a point-in-time copy of Counters.
+type Stats struct {
+	// Sessions and Streams count sessions and streams ever created.
+	Sessions, Streams int64
+	// FramesIn and FramesOut count mux frames decoded and staged.
+	FramesIn, FramesOut int64
+	// Flushes counts physical writes; BatchedFlushes the subset that
+	// carried more than one frame; CoalescedFrames the frames beyond
+	// the first in those batches (so CoalescedFrames/FramesOut is the
+	// fraction of frames that rode a shared syscall).
+	Flushes, BatchedFlushes, CoalescedFrames int64
+}
+
+// String renders a one-line summary for stats dumps.
+func (s Stats) String() string {
+	return fmt.Sprintf("mux: sessions=%d streams=%d frames_in=%d frames_out=%d flushes=%d batched_flushes=%d coalesced_frames=%d",
+		s.Sessions, s.Streams, s.FramesIn, s.FramesOut, s.Flushes, s.BatchedFlushes, s.CoalescedFrames)
+}
+
+// Stats snapshots the counters.
+func (c *Counters) Stats() Stats {
+	return Stats{
+		Sessions:        c.sessions.Load(),
+		Streams:         c.streams.Load(),
+		FramesIn:        c.framesIn.Load(),
+		FramesOut:       c.framesOut.Load(),
+		Flushes:         c.flushes.Load(),
+		BatchedFlushes:  c.batched.Load(),
+		CoalescedFrames: c.coalesced.Load(),
+	}
+}
+
+// putStreamID writes id into the 4-byte task-id form used on the wire.
+func putStreamID(b *[4]byte, id uint32) {
+	binary.BigEndian.PutUint32(b[:], id)
+}
+
+// streamID parses a wire task-id field as a stream id.
+func streamID(b []byte) (uint32, bool) {
+	if len(b) != 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(b), true
+}

@@ -1,0 +1,417 @@
+package mux
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/wire"
+)
+
+// pipePair builds a client/server session pair over an in-memory duplex.
+func pipePair(t *testing.T, opt Options) (*Session, *Session) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	client := Client(cc, opt)
+	server := Server(sc, sc, opt)
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return client, server
+}
+
+// accept pulls one stream with a timeout so a broken test fails instead
+// of hanging.
+func accept(t *testing.T, s *Session) *Stream {
+	t.Helper()
+	type res struct {
+		st  *Stream
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		st, err := s.Accept()
+		ch <- res{st, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("accept: %v", r.err)
+		}
+		return r.st
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return nil
+}
+
+// TestStreamRoundTrip opens a stream, sends data both ways and verifies
+// close semantics: the peer drains buffered data and then sees io.EOF.
+func TestStreamRoundTrip(t *testing.T) {
+	client, server := pipePair(t, Options{})
+	cs, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := accept(t, server)
+
+	if _, err := cs.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := ss.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("server read = %q, %v", buf[:n], err)
+	}
+	if _, err := ss.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = cs.Read(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("client read = %q, %v", buf[:n], err)
+	}
+
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Read(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("read after peer close = %v, want io.EOF", err)
+	}
+	if _, err := cs.Write([]byte("x")); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("write after local close = %v, want ErrStreamClosed", err)
+	}
+}
+
+// TestManyStreamsInterleaved runs many concurrent echo streams over one
+// session and checks every stream gets exactly its own bytes back.
+func TestManyStreamsInterleaved(t *testing.T) {
+	client, server := pipePair(t, Options{Coalesce: 200 * time.Microsecond})
+	go func() {
+		for {
+			st, err := server.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 8<<10)
+				for {
+					n, err := st.Read(buf)
+					if n > 0 {
+						if _, werr := st.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	const streams = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			st, err := client.Open()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer st.Close()
+			msg := bytes.Repeat([]byte{seed}, 40<<10) // > Window: exercises credit refill
+			go func() {
+				if _, err := st.Write(msg); err != nil {
+					errs <- err
+				}
+			}()
+			got := make([]byte, 0, len(msg))
+			buf := make([]byte, 4<<10)
+			for len(got) < len(msg) {
+				n, err := st.Read(buf)
+				got = append(got, buf[:n]...)
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- errors.New("echo corrupted stream payload")
+			}
+		}(byte(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := client.ctrs.Stats(); st.Streams != streams {
+		t.Errorf("client counted %d streams, want %d", st.Streams, streams)
+	}
+}
+
+// TestSlowStreamDoesNotBlockPeers pins the head-of-line property the
+// flow-control windows exist for: a stream whose reader never drains
+// stalls its own writer at the window, while a sibling stream on the
+// same session keeps flowing.
+func TestSlowStreamDoesNotBlockPeers(t *testing.T) {
+	client, server := pipePair(t, Options{})
+	slow, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSlow := accept(t, server)
+	_ = serverSlow // never read: its window fills and stays full
+	fast, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverFast := accept(t, server)
+
+	// Saturate the slow stream from a goroutine; it must block at the
+	// window, not error.
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := slow.Write(bytes.Repeat([]byte{0xAA}, Window+1))
+		slowDone <- err
+	}()
+
+	// The fast stream still round-trips while the slow one is wedged.
+	go func() {
+		buf := make([]byte, 1<<10)
+		for {
+			n, err := serverFast.Read(buf)
+			if n > 0 {
+				if _, werr := serverFast.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := fast.Write([]byte("still moving")); err != nil {
+			t.Fatalf("fast write %d: %v", i, err)
+		}
+		buf := make([]byte, 64)
+		if _, err := fast.Read(buf); err != nil {
+			t.Fatalf("fast read %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow write finished (%v); it should still be blocked on the window", err)
+	default:
+	}
+	// Drain the slow stream; its writer must now complete.
+	go func() {
+		buf := make([]byte, 8<<10)
+		for {
+			if _, err := serverSlow.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatalf("slow write after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow write never completed after the peer drained")
+	}
+}
+
+// TestSessionCloseFailsAllStreams checks the blast radius of losing the
+// physical connection: every stream on it dies, with the session error.
+func TestSessionCloseFailsAllStreams(t *testing.T) {
+	client, server := pipePair(t, Options{})
+	var streams []*Stream
+	for i := 0; i < 3; i++ {
+		st, err := client.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, st)
+		accept(t, server)
+	}
+	client.Close()
+	for i, st := range streams {
+		if _, err := st.Write([]byte("x")); err == nil {
+			t.Errorf("stream %d write after session close succeeded", i)
+		}
+		if _, err := st.Read(make([]byte, 1)); err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("stream %d read after session close = %v, want session error", i, err)
+		}
+	}
+	if _, err := client.Open(); err == nil {
+		t.Error("open on a closed session succeeded")
+	}
+	if err := client.Err(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("session err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestWindowOverrunFailsSession feeds a hand-built frame stream that
+// opens a stream and then ships more than Window bytes without waiting
+// for credit; the receiving session must fail with ErrProtocol.
+func TestWindowOverrunFailsSession(t *testing.T) {
+	raw, sc := net.Pipe()
+	server := Server(sc, sc, Options{})
+	defer server.Close()
+	go func() {
+		// Keep the raw side's read half drained so writes never block.
+		_, _ = io.Copy(io.Discard, raw)
+	}()
+
+	enc := wire.NewEncoder(raw)
+	id := []byte{0, 0, 0, 1}
+	if _, err := enc.Encode(&wire.Message{Type: wire.TypeMuxOpen, TaskID: id}); err != nil {
+		t.Fatal(err)
+	}
+	st := accept(t, server) // nobody reads it, so no credit is returned
+	chunk := bytes.Repeat([]byte{0xCC}, 32<<10)
+	for sent := 0; sent <= Window; sent += len(chunk) {
+		if _, err := enc.Encode(&wire.Message{Type: wire.TypeMuxData, TaskID: id, Payload: chunk}); err != nil {
+			t.Fatalf("raw write after %d bytes: %v", sent, err)
+		}
+	}
+	select {
+	case <-server.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session survived a window overrun")
+	}
+	if err := server.Err(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("session err = %v, want ErrProtocol", err)
+	}
+	if _, err := st.Read(make([]byte, 1)); errors.Is(err, io.EOF) || err == nil {
+		// The stream must fail with the session, not report a clean EOF
+		// (reads may first drain buffered bytes, so loop once more).
+		buf := make([]byte, Window)
+		for err == nil {
+			_, err = st.Read(buf)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Error("stream reported clean EOF after a protocol failure")
+		}
+	}
+}
+
+// TestCoalescingBatchesUnderLoad pins the adaptive coalescing contract:
+// a burst of frames staged while the connection is busy leaves in fewer
+// flushes than frames, and the surplus frames are counted (and flagged)
+// as coalesced.
+func TestCoalescingBatchesUnderLoad(t *testing.T) {
+	var ctrs Counters
+	client, server := pipePair(t, Options{Coalesce: 500 * time.Microsecond, Counters: &ctrs})
+	_ = server
+	go func() {
+		for {
+			st, err := server.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_, _ = io.Copy(io.Discard, st)
+			}()
+		}
+	}()
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		st, err := client.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 512)
+			for j := 0; j < 200; j++ {
+				if _, err := st.Write(payload); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Writers finish as soon as frames are staged (each sends less than
+	// one window), so poll until the flusher has demonstrably batched:
+	// every frame flushed, in strictly fewer flushes than frames.
+	const totalFrames = writers * 201 // 200 data frames + 1 open each
+	deadline := time.Now().Add(5 * time.Second)
+	var st Stats
+	for {
+		st = ctrs.Stats()
+		if st.FramesOut >= totalFrames && st.Flushes > 0 && st.Flushes < st.FramesOut {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no batching observed: %d frames out in %d flushes", st.FramesOut, st.Flushes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.CoalescedFrames == 0 || st.BatchedFlushes == 0 {
+		t.Errorf("coalescing counters flat: %+v", st)
+	}
+}
+
+// TestMuxSteadyStateAllocs pins the full echo path — stage, flush,
+// decode, deliver, read, credit return — at zero allocations per
+// round trip once buffers and goroutines are warm, the same guarantee
+// the raw wire codec gives (TestWireSteadyStateAllocs).
+func TestMuxSteadyStateAllocs(t *testing.T) {
+	client, server := pipePair(t, Options{})
+	go func() {
+		st, err := server.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 16<<10)
+		for {
+			n, err := st.Read(buf)
+			if n > 0 {
+				if _, werr := st.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	st, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4<<10)
+	buf := make([]byte, 16<<10)
+	echo := func() {
+		if _, err := st.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		for got := 0; got < len(payload); {
+			n, err := st.Read(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += n
+		}
+	}
+	for i := 0; i < 64; i++ { // warm buffers, conds and the runtime's goroutine parking
+		echo()
+	}
+	if got := testing.AllocsPerRun(100, echo); got != 0 {
+		t.Errorf("mux echo allocated %v/op in steady state, want 0", got)
+	}
+}

@@ -1,0 +1,337 @@
+package mux
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/wire"
+)
+
+// Session is one multiplexed connection.  Both endpoints run the same
+// state machine; only stream-id parity differs (the dialer opens odd
+// ids, the acceptor even), so either side may open streams.  All
+// methods are safe for concurrent use.
+type Session struct {
+	conn net.Conn
+	opt  Options
+	ctrs *Counters
+
+	// Write side: stream writers stage frames into wbuf under wmu; the
+	// flusher goroutine swaps the buffer out and writes it with one
+	// syscall.  wcond backs writers off while more than maxStage bytes
+	// are staged.  wmsg is the staging scratch message, reused so the
+	// hot path builds frames without allocating.
+	wmu     sync.Mutex
+	wcond   sync.Cond
+	wbuf    []byte
+	wframes int
+	werr    error
+	wmsg    wire.Message
+	kick    chan struct{}
+
+	dec *wire.Decoder
+
+	mu       sync.Mutex
+	streams  map[uint32]*Stream
+	nextID   uint32
+	err      error
+	acceptCh chan *Stream
+	done     chan struct{}
+	once     sync.Once
+}
+
+// Client wraps the dial side of conn in a Session.  The caller has
+// already sent whatever hello the application protocol requires; from
+// here on the connection carries only mux frames.
+func Client(conn net.Conn, opt Options) *Session {
+	return newSession(conn, conn, opt, 1)
+}
+
+// Server wraps the accept side of conn in a Session.  r is the reader
+// the hello was parsed from (typically a bufio.Reader that may hold
+// buffered bytes beyond the hello), so no byte is lost in the takeover.
+func Server(conn net.Conn, r io.Reader, opt Options) *Session {
+	return newSession(conn, r, opt, 2)
+}
+
+func newSession(conn net.Conn, r io.Reader, opt Options, firstID uint32) *Session {
+	s := &Session{
+		conn:     conn,
+		opt:      opt,
+		ctrs:     opt.Counters,
+		dec:      wire.NewDecoder(r),
+		kick:     make(chan struct{}, 1),
+		streams:  make(map[uint32]*Stream),
+		nextID:   firstID,
+		acceptCh: make(chan *Stream, 16),
+		done:     make(chan struct{}),
+	}
+	if s.ctrs == nil {
+		s.ctrs = &Counters{}
+	}
+	s.wcond.L = &s.wmu
+	s.ctrs.sessions.Add(1)
+	go s.flushLoop()
+	go s.readLoop()
+	return s
+}
+
+// Open creates a new outbound stream.
+func (s *Session) Open() (*Stream, error) {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return nil, err
+	}
+	id := s.nextID
+	s.nextID += 2
+	st := newStream(s, id)
+	s.streams[id] = st
+	s.mu.Unlock()
+	if err := s.stage(wire.TypeMuxOpen, &st.idb, nil, 0); err != nil {
+		s.drop(id)
+		return nil, err
+	}
+	s.ctrs.streams.Add(1)
+	return st, nil
+}
+
+// Accept returns the next stream the peer opened.
+func (s *Session) Accept() (*Stream, error) {
+	select {
+	case st := <-s.acceptCh:
+		return st, nil
+	case <-s.done:
+		return nil, s.Err()
+	}
+}
+
+// Err returns the error the session failed with, or nil while it is
+// healthy.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Done is closed when the session has failed or been closed.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Close tears the session down: the physical connection is closed and
+// every stream fails.  Safe to call repeatedly.
+func (s *Session) Close() error {
+	s.fail(ErrSessionClosed)
+	return nil
+}
+
+// fail moves the session to its terminal state exactly once: records
+// err, fails every stream, wakes every waiter and closes the physical
+// connection.
+func (s *Session) fail(err error) {
+	s.once.Do(func() {
+		s.wmu.Lock()
+		s.werr = err
+		s.wmu.Unlock()
+		s.wcond.Broadcast()
+		s.mu.Lock()
+		s.err = err
+		streams := make([]*Stream, 0, len(s.streams))
+		for _, st := range s.streams {
+			streams = append(streams, st)
+		}
+		s.streams = nil
+		s.mu.Unlock()
+		for _, st := range streams {
+			st.fail(err)
+		}
+		close(s.done)
+		//lint:ignore errdiscard force-close by design: the session is already failing with err; the conn close error adds nothing
+		s.conn.Close()
+	})
+}
+
+// lookup returns the live stream with the given id, or nil.
+func (s *Session) lookup(id uint32) *Stream {
+	s.mu.Lock()
+	st := s.streams[id]
+	s.mu.Unlock()
+	return st
+}
+
+// drop removes id from the stream table (close or failed open).
+func (s *Session) drop(id uint32) *Stream {
+	s.mu.Lock()
+	st := s.streams[id]
+	delete(s.streams, id)
+	s.mu.Unlock()
+	return st
+}
+
+// stage validates and appends one frame to the staging buffer and kicks
+// the flusher.  Frames staged behind an earlier unflushed frame carry
+// wire.FlagCoalesced.  Blocks while more than maxStage bytes are
+// already staged (connection backpressure).
+//
+//lint:hot
+func (s *Session) stage(t wire.Type, id *[4]byte, payload []byte, window uint64) error {
+	s.wmu.Lock()
+	for len(s.wbuf) > maxStage && s.werr == nil {
+		s.wcond.Wait()
+	}
+	if s.werr != nil {
+		err := s.werr
+		s.wmu.Unlock()
+		return err
+	}
+	s.wmsg.Type = t
+	s.wmsg.Flags = 0
+	if s.wframes > 0 {
+		s.wmsg.Flags = wire.FlagCoalesced
+	}
+	s.wmsg.TaskID = id[:]
+	s.wmsg.Payload = payload
+	s.wmsg.Window = window
+	buf, err := wire.AppendFrame(s.wbuf, &s.wmsg)
+	if err != nil {
+		s.wmu.Unlock()
+		return err
+	}
+	s.wbuf = buf
+	s.wframes++
+	s.wmu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	s.ctrs.framesOut.Add(1)
+	return nil
+}
+
+// flushLoop drains the staging buffer with one conn.Write per flush.
+// Opportunistic batching is free: frames staged while a Write is in
+// flight leave together in the next one.  When the previous flush was
+// already a batch (the session is under load) and a Coalesce budget is
+// configured, the loop waits up to that budget before the next write to
+// deepen the batch; an idle session never waits.
+func (s *Session) flushLoop() {
+	var (
+		out     []byte
+		batched bool
+		timer   *time.Timer
+	)
+	if s.opt.Coalesce > 0 {
+		timer = time.NewTimer(time.Hour)
+		if !timer.Stop() {
+			<-timer.C
+		}
+	}
+	for {
+		select {
+		case <-s.kick:
+		case <-s.done:
+			return
+		}
+		for {
+			if batched && timer != nil {
+				timer.Reset(s.opt.Coalesce)
+				select {
+				case <-timer.C:
+				case <-s.done:
+					return
+				}
+			}
+			s.wmu.Lock()
+			if len(s.wbuf) == 0 || s.werr != nil {
+				s.wmu.Unlock()
+				break
+			}
+			out, s.wbuf = s.wbuf, out[:0]
+			frames := s.wframes
+			s.wframes = 0
+			s.wmu.Unlock()
+			s.wcond.Broadcast()
+			_, err := s.conn.Write(out)
+			s.ctrs.flushes.Add(1)
+			if frames > 1 {
+				s.ctrs.batched.Add(1)
+				s.ctrs.coalesced.Add(int64(frames - 1))
+			}
+			batched = frames > 1
+			if err != nil {
+				s.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// readLoop decodes mux frames off the connection and dispatches them to
+// streams.  Any decode or protocol error fails the whole session — the
+// frame stream is unrecoverable once framing is in doubt.
+func (s *Session) readLoop() {
+	var m wire.Message
+	for {
+		if err := s.dec.Decode(&m); err != nil {
+			s.fail(err)
+			return
+		}
+		s.ctrs.framesIn.Add(1)
+		if err := s.dispatch(&m); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// dispatch routes one decoded frame.  Data and window frames for
+// unknown streams are dropped silently: they are the legal race of a
+// frame in flight while the local side closed the stream.
+func (s *Session) dispatch(m *wire.Message) error {
+	id, ok := streamID(m.TaskID)
+	if !ok {
+		return fmt.Errorf("%w: %v frame with %d-byte stream id", ErrProtocol, m.Type, len(m.TaskID))
+	}
+	switch m.Type {
+	case wire.TypeMuxOpen:
+		st := newStream(s, id)
+		s.mu.Lock()
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return err
+		}
+		if _, dup := s.streams[id]; dup {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: duplicate open of stream %d", ErrProtocol, id)
+		}
+		s.streams[id] = st
+		s.mu.Unlock()
+		s.ctrs.streams.Add(1)
+		select {
+		case s.acceptCh <- st:
+		case <-s.done:
+		}
+		return nil
+	case wire.TypeMuxData:
+		if st := s.lookup(id); st != nil {
+			return st.deliver(m.Payload)
+		}
+		return nil
+	case wire.TypeMuxClose:
+		if st := s.drop(id); st != nil {
+			st.closeRemote()
+		}
+		return nil
+	case wire.TypeMuxWindow:
+		if st := s.lookup(id); st != nil {
+			st.grant(m.Window)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %v frame inside a mux session", ErrProtocol, m.Type)
+	}
+}

@@ -1,0 +1,209 @@
+package mux
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/wire"
+)
+
+// Stream is one logical connection inside a Session.  It implements
+// net.Conn, so the cluster layers treat it exactly like a dialed or
+// accepted TCP connection.  Deadlines are no-ops: the cluster protocol
+// never sets them (liveness is heartbeat-driven), and a per-stream
+// deadline has no faithful mapping onto a shared physical socket.
+type Stream struct {
+	sess *Session
+	id   uint32
+	idb  [4]byte // wire-format id, staged by reference on every frame
+
+	mu    sync.Mutex
+	rcond sync.Cond // readers wait for data / close / failure
+	wcond sync.Cond // writers wait for send credit
+	// rbuf[roff:] is the undelivered receive data; occupancy is bounded
+	// by Window as long as the peer honors flow control.
+	rbuf []byte
+	roff int
+	// consumed accumulates drained bytes until a window grant is owed.
+	consumed int
+	// sendWin is the remaining send credit in bytes.
+	sendWin      int
+	localClosed  bool
+	remoteClosed bool
+	dead         error
+}
+
+func newStream(s *Session, id uint32) *Stream {
+	st := &Stream{sess: s, id: id, sendWin: Window}
+	putStreamID(&st.idb, id)
+	st.rcond.L = &st.mu
+	st.wcond.L = &st.mu
+	return st
+}
+
+// ID returns the stream's id within its session.
+func (st *Stream) ID() uint32 { return st.id }
+
+// deliver appends one data chunk from the session read loop.  A chunk
+// that would overrun the flow-control window is a protocol violation
+// and fails the session.
+//
+//lint:hot
+func (st *Stream) deliver(p []byte) error {
+	st.mu.Lock()
+	if st.localClosed {
+		// Data raced our close; the peer will see the MuxClose shortly.
+		st.mu.Unlock()
+		return nil
+	}
+	if len(st.rbuf)-st.roff+len(p) > Window {
+		st.mu.Unlock()
+		return fmt.Errorf("%w: stream %d receive window overrun", ErrProtocol, st.id)
+	}
+	if st.roff > 0 && len(st.rbuf)+len(p) > cap(st.rbuf) {
+		// Compact before the append would grow the buffer, so capacity
+		// converges to ~Window and stays there.
+		n := copy(st.rbuf, st.rbuf[st.roff:])
+		st.rbuf = st.rbuf[:n]
+		st.roff = 0
+	}
+	st.rbuf = append(st.rbuf, p...)
+	st.mu.Unlock()
+	st.rcond.Signal()
+	return nil
+}
+
+// grant adds send credit from a peer MuxWindow frame.
+func (st *Stream) grant(n uint64) {
+	st.mu.Lock()
+	st.sendWin += int(n)
+	st.mu.Unlock()
+	st.wcond.Broadcast()
+}
+
+// closeRemote marks the peer's end closed: reads drain the buffer then
+// return io.EOF; blocked writers wake and fail.
+func (st *Stream) closeRemote() {
+	st.mu.Lock()
+	st.remoteClosed = true
+	st.mu.Unlock()
+	st.rcond.Broadcast()
+	st.wcond.Broadcast()
+}
+
+// fail marks the stream dead with the session's error.
+func (st *Stream) fail(err error) {
+	st.mu.Lock()
+	if st.dead == nil {
+		st.dead = err
+	}
+	st.mu.Unlock()
+	st.rcond.Broadcast()
+	st.wcond.Broadcast()
+}
+
+// Read implements net.Conn.
+//
+//lint:hot
+func (st *Stream) Read(p []byte) (int, error) {
+	st.mu.Lock()
+	for st.roff == len(st.rbuf) && st.dead == nil && !st.remoteClosed && !st.localClosed {
+		st.rcond.Wait()
+	}
+	if st.roff < len(st.rbuf) {
+		n := copy(p, st.rbuf[st.roff:])
+		st.roff += n
+		st.consumed += n
+		grant := 0
+		if st.consumed >= Window/2 {
+			grant = st.consumed
+			st.consumed = 0
+		}
+		st.mu.Unlock()
+		if grant > 0 {
+			// Best-effort: if staging fails the session is failing and
+			// the next Read reports it.
+			//lint:ignore errdiscard best-effort credit return; a staging failure means the session is already dead and the next Read reports it
+			st.sess.stage(wire.TypeMuxWindow, &st.idb, nil, uint64(grant))
+		}
+		return n, nil
+	}
+	err := st.dead
+	if st.localClosed {
+		err = ErrStreamClosed
+	} else if err == nil {
+		err = io.EOF
+	}
+	st.mu.Unlock()
+	return 0, err
+}
+
+// Write implements net.Conn.  Large writes are chunked so many streams
+// interleave fairly on the shared session, and each chunk spends send
+// credit; at zero credit the writer blocks until the peer grants more.
+//
+//lint:hot
+func (st *Stream) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		st.mu.Lock()
+		for st.sendWin <= 0 && st.dead == nil && !st.localClosed && !st.remoteClosed {
+			st.wcond.Wait()
+		}
+		if st.dead != nil || st.localClosed || st.remoteClosed {
+			err := st.dead
+			if err == nil {
+				err = ErrStreamClosed
+			}
+			st.mu.Unlock()
+			return total, err
+		}
+		chunk := min(min(len(p), maxChunk), st.sendWin)
+		st.sendWin -= chunk
+		st.mu.Unlock()
+		if err := st.sess.stage(wire.TypeMuxData, &st.idb, p[:chunk], 0); err != nil {
+			return total, err
+		}
+		total += chunk
+		p = p[chunk:]
+	}
+	return total, nil
+}
+
+// Close implements net.Conn: it closes the stream in both directions
+// (the cluster protocol ends conversations by teardown, so there is no
+// half-close).  Idempotent.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	if st.localClosed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.localClosed = true
+	st.mu.Unlock()
+	st.rcond.Broadcast()
+	st.wcond.Broadcast()
+	if st.sess.drop(st.id) != nil {
+		//lint:ignore errdiscard best-effort close notification; if staging fails the session teardown already reaches the peer
+		st.sess.stage(wire.TypeMuxClose, &st.idb, nil, 0)
+	}
+	return nil
+}
+
+// LocalAddr implements net.Conn with the physical connection's address.
+func (st *Stream) LocalAddr() net.Addr { return st.sess.conn.LocalAddr() }
+
+// RemoteAddr implements net.Conn with the physical connection's address.
+func (st *Stream) RemoteAddr() net.Addr { return st.sess.conn.RemoteAddr() }
+
+// SetDeadline implements net.Conn as a no-op (see type doc).
+func (st *Stream) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn as a no-op.
+func (st *Stream) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (st *Stream) SetWriteDeadline(time.Time) error { return nil }

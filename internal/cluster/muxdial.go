@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/mux"
+	"repro/internal/cluster/wire"
+)
+
+// Dialer abstracts how a worker or client obtains a connection to the
+// scheduler.  The default is one TCP connection per Dial; a MuxDialer
+// returns logical streams multiplexed over a small pool of shared TCP
+// connections instead.
+type Dialer interface {
+	Dial() (net.Conn, error)
+}
+
+// tcpDialer is the default dialer: one TCP connection per Dial.
+type tcpDialer string
+
+func (d tcpDialer) Dial() (net.Conn, error) { return net.Dial("tcp", string(d)) }
+
+// MuxDialer hands out logical streams over a pool of Conns multiplexed
+// TCP connections to one scheduler.  Each physical connection opens
+// with a single binary register hello carrying wire.FlagMux, after
+// which it speaks only mux frames; the scheduler serves every stream
+// exactly as it would a dedicated connection, so workers and clients
+// built on a MuxDialer are wire-compatible with per-connection peers —
+// a fleet can mix both on one port.
+//
+// Streams are assigned round-robin across the pool.  A session that
+// died (scheduler bounce, chaos cut) is redialed lazily on the next
+// Dial that lands on its slot, which is exactly the retry loop workers
+// and clients already drive; the blast radius of losing one physical
+// connection is that connection's streams, nothing more.
+//
+// The zero value is not usable: set Addr (and optionally Conns,
+// default 1, and Coalesce).  Safe for concurrent use.
+type MuxDialer struct {
+	// Addr is the scheduler address to dial.
+	Addr string
+	// Conns is the physical connection pool size (default 1).
+	Conns int
+	// Coalesce is the frame-coalescing latency budget for dialed
+	// sessions (see mux.Options.Coalesce); 0 keeps batching purely
+	// opportunistic.
+	Coalesce time.Duration
+
+	ctrs mux.Counters
+
+	mu       sync.Mutex
+	sessions []*mux.Session
+	next     int
+	closed   bool
+}
+
+// Dial returns a new logical stream, dialing or redialing a physical
+// connection if the slot it lands on has none alive.
+func (d *MuxDialer) Dial() (net.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, errors.New("cluster: mux dialer closed")
+	}
+	if d.sessions == nil {
+		n := d.Conns
+		if n < 1 {
+			n = 1
+		}
+		d.sessions = make([]*mux.Session, n)
+	}
+	n := len(d.sessions)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		slot := (d.next + i) % n
+		sess := d.sessions[slot]
+		if sess == nil || sess.Err() != nil {
+			var err error
+			if sess, err = d.dialSession(); err != nil {
+				// The scheduler is unreachable; trying the other slots
+				// would just dial it again.
+				return nil, err
+			}
+			d.sessions[slot] = sess
+		}
+		st, err := sess.Open()
+		if err != nil {
+			// The session died between the health check and the open;
+			// clear the slot and move on.
+			lastErr = err
+			d.sessions[slot] = nil
+			continue
+		}
+		d.next = (slot + 1) % n
+		return st, nil
+	}
+	return nil, fmt.Errorf("cluster: mux dial: %w", lastErr)
+}
+
+// dialSession establishes one physical connection: TCP dial, mux hello,
+// session wrap.
+func (d *MuxDialer) dialSession() (*mux.Session, error) {
+	conn, err := net.Dial("tcp", d.Addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := wire.Message{Type: wire.TypeRegister, Flags: wire.FlagMux, Name: []byte("mux")}
+	frame, err := wire.AppendFrame(nil, &hello)
+	if err == nil {
+		_, err = conn.Write(frame)
+	}
+	if err != nil {
+		//lint:ignore errdiscard best-effort close of a conn whose hello failed; the hello error is returned
+		conn.Close()
+		return nil, fmt.Errorf("cluster: mux hello: %w", err)
+	}
+	return mux.Client(conn, mux.Options{Coalesce: d.Coalesce, Counters: &d.ctrs}), nil
+}
+
+// Stats returns a snapshot of the dialer's multiplexing counters across
+// every session it has established.
+func (d *MuxDialer) Stats() mux.Stats { return d.ctrs.Stats() }
+
+// Close tears down every pooled session; subsequent Dials fail.
+func (d *MuxDialer) Close() error {
+	d.mu.Lock()
+	sessions := d.sessions
+	d.sessions = nil
+	d.closed = true
+	d.mu.Unlock()
+	for _, sess := range sessions {
+		if sess != nil {
+			//lint:ignore errdiscard session Close never fails (teardown by design); nothing to report per slot
+			sess.Close()
+		}
+	}
+	return nil
+}

@@ -46,6 +46,13 @@ type message struct {
 // pre-snapshot protocol.
 const flagWantSnapshot byte = 1 << 0
 
+// flagMux, set on the first register message of a binary connection,
+// declares that every byte after that hello is a mux session (see
+// internal/cluster/mux): the scheduler hands the connection to the
+// session layer and each accepted stream is then served exactly like a
+// fresh connection.  The value mirrors wire.FlagMux.
+const flagMux byte = 1 << 1
+
 // snapshotData is the compact scheduler state a late-joining worker
 // receives instead of any history replay: where the campaign stands
 // (Epoch counts tasks submitted so far), how deep the queue is, and

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// dispatchQueue is the scheduler's pending-task queue: N shards hashed
+// by task id, each with its own lock and FIFO ring, replacing the single
+// buffered channel whose one lock serialized every submit and dispatch.
+// Capacity is global (depth), enforced with an atomic reservation so a
+// full queue backpressures submitters exactly like the old channel did —
+// but observably, via the waits counter.
+//
+// Dispatch keeps the channel's direct-handoff semantics: a push that
+// finds a parked worker hands the task straight to it (w.task) without
+// touching a shard, so a worker that just bounced a task (lease expiry
+// on a hung node) cannot immediately steal it back from the queue —
+// the parked healthy worker gets it first, exactly as a channel send to
+// a blocked receiver did.  Tasks hit the shards only when every worker
+// is busy; a worker finishing its dispatch then pops its home shard
+// first and sweeps the rest (work stealing), so no task waits behind an
+// accident of hashing.
+//
+// The lost-wakeup race is closed by ordering, not tokens: a pusher with
+// no parked worker enqueues to the shard while holding idleMu, and a
+// worker parks itself only after a shard sweep performed under idleMu —
+// so either the pusher sees the parked worker, or the worker's final
+// sweep sees the task.  A wake token is sent only after a handoff,
+// which makes tokens precise: one received token always means one task
+// in w.task, and there are no stale wakeups to drain.
+type dispatchQueue struct {
+	shards []queueShard
+	mask   uint32
+	depth  int
+
+	size  atomic.Int64 // tasks currently queued (reservation counter)
+	waits atomic.Int64 // pushes that had to wait on a full queue
+
+	space  chan struct{} // capacity-1 token: a slot was freed
+	closed <-chan struct{}
+
+	idleMu   sync.Mutex
+	idle     []*dispatchWaiter // parked poppers, FIFO ring (oldest first)
+	idleHead int
+}
+
+// queueShard is one lock's worth of the queue: a FIFO ring over a
+// reusable slice.  head indexes the next task out; popped slots are
+// nilled so the slice does not retain completed tasks.
+type queueShard struct {
+	mu   sync.Mutex
+	head int
+	q    []*task
+}
+
+// dispatchWaiter is one worker proxy's parking spot: a private
+// capacity-1 wake channel and the handoff slot a pusher fills before
+// signalling it, plus the shard its pops sweep first.
+type dispatchWaiter struct {
+	wake chan struct{}
+	task *task
+	home uint32
+}
+
+func newDispatchQueue(depth, shards int, closed <-chan struct{}) *dispatchQueue {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &dispatchQueue{
+		shards: make([]queueShard, n),
+		mask:   uint32(n - 1),
+		depth:  depth,
+		space:  make(chan struct{}, 1),
+		closed: closed,
+	}
+}
+
+func (q *dispatchQueue) newWaiter(home uint32) *dispatchWaiter {
+	return &dispatchWaiter{wake: make(chan struct{}, 1), home: home & q.mask}
+}
+
+// shardFor hashes a task id to its home shard (FNV-1a, allocation-free).
+//
+//lint:hot
+func (q *dispatchQueue) shardFor(id string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h & q.mask
+}
+
+// push dispatches t — directly to a parked worker when one exists,
+// otherwise onto t's home shard — blocking while the queue is at
+// capacity.  It reports false if the scheduler closed before a slot
+// freed (the task is dropped, exactly as the old channel path did).
+//
+//lint:hot
+func (q *dispatchQueue) push(t *task) bool {
+	waited := false
+	for {
+		if q.size.Add(1) <= int64(q.depth) {
+			break
+		}
+		q.size.Add(-1)
+		if !waited {
+			waited = true
+			q.waits.Add(1)
+		}
+		select {
+		case <-q.space:
+		case <-q.closed:
+			return false
+		}
+	}
+	if waited && q.size.Load() < int64(q.depth) {
+		// Cascade the token: space may have been signalled once for two
+		// freed slots (the channel holds one token), so a successful
+		// waiter re-signals while capacity remains.
+		q.signalSpace()
+	}
+	q.idleMu.Lock()
+	if w := q.idlePop(); w != nil {
+		q.idleMu.Unlock()
+		// Handed off, never queued: release the reservation.
+		q.size.Add(-1)
+		q.signalSpace()
+		w.task = t
+		w.wake <- struct{}{}
+		return true
+	}
+	// Enqueue while still holding idleMu: a worker parks only after a
+	// shard sweep under this same lock, so it cannot miss this task.
+	sh := &q.shards[q.shardFor(t.id)]
+	sh.mu.Lock()
+	sh.enq(t)
+	sh.mu.Unlock()
+	q.idleMu.Unlock()
+	return true
+}
+
+// tryPop sweeps every shard starting at home and returns the first task
+// found, or nil.  Starting at home spreads active workers across
+// shards; sweeping the rest is the work-stealing half.
+//
+//lint:hot
+func (q *dispatchQueue) tryPop(home uint32) *task {
+	n := uint32(len(q.shards))
+	for i := uint32(0); i < n; i++ {
+		sh := &q.shards[(home+i)&q.mask]
+		sh.mu.Lock()
+		t := sh.deq()
+		sh.mu.Unlock()
+		if t != nil {
+			q.size.Add(-1)
+			q.signalSpace()
+			return t
+		}
+	}
+	return nil
+}
+
+// pop returns the next task for a worker, parking until one is handed
+// over.  It reports false when the scheduler closed or the worker died.
+// If a pusher claimed the waiter in the same instant one of those fired,
+// the guaranteed handoff is consumed and returned anyway — the caller's
+// dispatch path observes closed/dead itself and requeues as needed, so
+// the task is never lost.
+func (q *dispatchQueue) pop(w *dispatchWaiter, dead <-chan struct{}) (*task, bool) {
+	if t := q.tryPop(w.home); t != nil {
+		return t, true
+	}
+	q.idleMu.Lock()
+	if t := q.tryPop(w.home); t != nil {
+		q.idleMu.Unlock()
+		return t, true
+	}
+	if q.idleHead > 0 && len(q.idle)+1 > cap(q.idle) {
+		n := copy(q.idle, q.idle[q.idleHead:])
+		q.idle = q.idle[:n]
+		q.idleHead = 0
+	}
+	q.idle = append(q.idle, w)
+	q.idleMu.Unlock()
+	select {
+	case <-w.wake:
+		return w.take(), true
+	case <-q.closed:
+		if q.retire(w) {
+			return nil, false
+		}
+		<-w.wake
+		return w.take(), true
+	case <-dead:
+		if q.retire(w) {
+			return nil, false
+		}
+		<-w.wake
+		return w.take(), true
+	}
+}
+
+// take consumes the handed-off task (always present after a wake token).
+func (w *dispatchWaiter) take() *task {
+	t := w.task
+	w.task = nil
+	return t
+}
+
+// idlePop removes and returns the oldest parked waiter, or nil.  FIFO
+// order matches the channel it replaced (blocked receivers were served
+// oldest-first), which both spreads load round-robin across workers and
+// keeps a worker that just failed a task from winning it straight back.
+// Callers hold idleMu.
+func (q *dispatchQueue) idlePop() *dispatchWaiter {
+	if q.idleHead == len(q.idle) {
+		return nil
+	}
+	w := q.idle[q.idleHead]
+	q.idle[q.idleHead] = nil
+	q.idleHead++
+	if q.idleHead == len(q.idle) {
+		q.idle = q.idle[:0]
+		q.idleHead = 0
+	}
+	return w
+}
+
+// retire removes w from the idle list, reporting whether it was still
+// there.  False means a pusher already claimed w and a handoff token is
+// in flight.
+func (q *dispatchQueue) retire(w *dispatchWaiter) bool {
+	q.idleMu.Lock()
+	defer q.idleMu.Unlock()
+	for i := q.idleHead; i < len(q.idle); i++ {
+		if q.idle[i] == w {
+			copy(q.idle[i:], q.idle[i+1:])
+			last := len(q.idle) - 1
+			q.idle[last] = nil
+			q.idle = q.idle[:last]
+			if q.idleHead == len(q.idle) {
+				q.idle = q.idle[:0]
+				q.idleHead = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (q *dispatchQueue) signalSpace() {
+	select {
+	case q.space <- struct{}{}:
+	default:
+	}
+}
+
+// depths returns the per-shard queue depths under a consistent view:
+// every shard lock is held at once, so the values sum to a queue length
+// that actually existed at one instant.
+func (q *dispatchQueue) depths(out []int) []int {
+	for i := range q.shards {
+		q.shards[i].mu.Lock()
+	}
+	out = out[:0]
+	for i := range q.shards {
+		out = append(out, len(q.shards[i].q)-q.shards[i].head)
+	}
+	for i := range q.shards {
+		q.shards[i].mu.Unlock()
+	}
+	return out
+}
+
+// queued returns the total queue length under the same consistent view.
+func (q *dispatchQueue) queued() int {
+	total := 0
+	for _, d := range q.depths(make([]int, 0, len(q.shards))) {
+		total += d
+	}
+	return total
+}
+
+func (sh *queueShard) enq(t *task) {
+	if sh.head > 0 && len(sh.q)+1 > cap(sh.q) {
+		// Compact instead of growing: capacity converges to the high-water
+		// live count and stays there.
+		n := copy(sh.q, sh.q[sh.head:])
+		sh.q = sh.q[:n]
+		sh.head = 0
+	}
+	sh.q = append(sh.q, t)
+}
+
+func (sh *queueShard) deq() *task {
+	if sh.head == len(sh.q) {
+		return nil
+	}
+	t := sh.q[sh.head]
+	sh.q[sh.head] = nil
+	sh.head++
+	if sh.head == len(sh.q) {
+		sh.q = sh.q[:0]
+		sh.head = 0
+	}
+	return t
+}

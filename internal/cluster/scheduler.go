@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cluster/mux"
 )
 
 // task is one unit of work tracked by the scheduler.
@@ -55,6 +58,7 @@ type Stats struct {
 	Expired    int64 // leases that ran out (subset of Reassigned causes)
 	Stale      int64 // late/duplicate results discarded
 	Workers    int64 // workers currently connected
+	QueueWaits int64 // enqueues that blocked on a full pending queue (backpressure)
 }
 
 // lease tracks one in-flight assignment: which task a worker is holding
@@ -89,13 +93,16 @@ type Scheduler struct {
 	// the scheduler.  Set it before the first connection arrives.
 	OnEvent func(Event)
 
-	ln      net.Listener
-	pending chan *task
-	stats   Stats
-	wire    wireCounters
-	wg      sync.WaitGroup
-	closed  chan struct{}
-	once    sync.Once
+	ln       net.Listener
+	coalesce time.Duration
+	queue    *dispatchQueue
+	stats    Stats
+	wire     wireCounters
+	mux      mux.Counters
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	once     sync.Once
+	nextHome atomic.Uint32
 
 	workersMu sync.Mutex
 	workers   map[*workerProxy]struct{}
@@ -104,8 +111,45 @@ type Scheduler struct {
 	conns   map[net.Conn]struct{}
 }
 
-// NewScheduler creates a scheduler listening on addr (e.g. "127.0.0.1:0").
+// SchedulerConfig tunes the scheduler's dispatch queue.  The zero value
+// selects the defaults, which match the previous hard-coded behaviour
+// (a 4096-task queue) plus sharding.
+type SchedulerConfig struct {
+	// QueueDepth bounds the tasks queued across all shards; submitters
+	// block (and Stats.QueueWaits counts) when it is full.  Default 4096.
+	QueueDepth int
+	// QueueShards is the number of pending-queue shards (rounded up to a
+	// power of two, capped at 256).  Default 8.
+	QueueShards int
+	// Coalesce is the frame-coalescing latency budget for accepted mux
+	// sessions: once a flush batches, the next flush may wait up to this
+	// long to deepen the batch.  0 disables the wait (opportunistic
+	// batching still happens); idle sessions never wait either way.
+	Coalesce time.Duration
+}
+
+func (c *SchedulerConfig) applyDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.QueueShards <= 0 {
+		c.QueueShards = 8
+	}
+	if c.QueueShards > 256 {
+		c.QueueShards = 256
+	}
+}
+
+// NewScheduler creates a scheduler listening on addr (e.g. "127.0.0.1:0")
+// with default queue settings.
 func NewScheduler(addr string) (*Scheduler, error) {
+	return NewSchedulerWithConfig(addr, SchedulerConfig{})
+}
+
+// NewSchedulerWithConfig creates a scheduler with an explicit queue
+// configuration.
+func NewSchedulerWithConfig(addr string, cfg SchedulerConfig) (*Scheduler, error) {
+	cfg.applyDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -113,11 +157,12 @@ func NewScheduler(addr string) (*Scheduler, error) {
 	s := &Scheduler{
 		MaxAttempts: 3,
 		ln:          ln,
-		pending:     make(chan *task, 4096),
+		coalesce:    cfg.Coalesce,
 		closed:      make(chan struct{}),
 		workers:     make(map[*workerProxy]struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	s.queue = newDispatchQueue(cfg.QueueDepth, cfg.QueueShards, s.closed)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -136,8 +181,20 @@ func (s *Scheduler) Stats() Stats {
 		Expired:    atomic.LoadInt64(&s.stats.Expired),
 		Stale:      atomic.LoadInt64(&s.stats.Stale),
 		Workers:    atomic.LoadInt64(&s.stats.Workers),
+		QueueWaits: s.queue.waits.Load(),
 	}
 }
+
+// QueueDepths returns the per-shard pending-queue depths under a
+// consistent view (all shard locks held at once), for stats dumps and
+// metrics.
+func (s *Scheduler) QueueDepths() []int {
+	return s.queue.depths(make([]int, 0, len(s.queue.shards)))
+}
+
+// Mux returns a snapshot of the scheduler's multiplexing counters,
+// aggregated across every mux session it has accepted.
+func (s *Scheduler) Mux() mux.Stats { return s.mux.Stats() }
 
 // Wire returns a snapshot of the scheduler's transport counters,
 // aggregated across every connection it has accepted.
@@ -226,7 +283,7 @@ func (s *Scheduler) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connsMu.Unlock()
 	}()
-	cd, err := negotiate(conn, &s.wire)
+	cd, br, err := negotiate(conn, &s.wire)
 	if err != nil {
 		return
 	}
@@ -236,6 +293,14 @@ func (s *Scheduler) handleConn(conn net.Conn) {
 	}
 	switch first.Type {
 	case msgRegister:
+		if first.Flags&flagMux != 0 && cd.transport() == TransportBinary {
+			// A mux hello: from here on the connection carries only mux
+			// frames.  The session takes over br (which the frame-exact
+			// decoder left positioned right after the hello) and each
+			// accepted stream is served like a fresh connection.
+			s.runMuxSession(conn, br, first)
+			return
+		}
 		s.runWorkerProxy(conn, cd, first)
 	case msgSubmit:
 		s.runClientProxy(cd, first)
@@ -244,14 +309,60 @@ func (s *Scheduler) handleConn(conn net.Conn) {
 	}
 }
 
+// runMuxSession accepts logical streams off one multiplexed connection
+// and serves each as if it were a fresh TCP connection: a stream's
+// first message decides worker vs client, and a stream failure costs
+// only that stream.  The physical connection is already registered in
+// s.conns, so scheduler Close force-closes the session, which fails
+// every stream and unwinds every handler.
+func (s *Scheduler) runMuxSession(conn net.Conn, br *bufio.Reader, hello *message) {
+	sess := mux.Server(conn, br, mux.Options{Coalesce: s.coalesce, Counters: &s.mux})
+	defer sess.Close()
+	s.logf("cluster: mux session from %q (%s)", hello.Name, conn.RemoteAddr())
+	for {
+		st, err := sess.Accept()
+		if err != nil {
+			s.logf("cluster: mux session from %q ended: %v", hello.Name, err)
+			return
+		}
+		s.wg.Add(1)
+		go s.handleStream(st)
+	}
+}
+
+// handleStream serves one logical connection inside a mux session.  The
+// codec sits directly on the stream — the session already counts
+// physical bytes in (via the negotiate reader) and the codec counts
+// logical frames both ways, so nothing is double-counted.
+func (s *Scheduler) handleStream(st *mux.Stream) {
+	defer s.wg.Done()
+	defer st.Close()
+	cd := newCodec(TransportBinary, st, st, &s.wire)
+	first, err := cd.read()
+	if err != nil {
+		return
+	}
+	switch first.Type {
+	case msgRegister:
+		s.runWorkerProxy(st, cd, first)
+	case msgSubmit:
+		s.runClientProxy(cd, first)
+	default:
+		s.logf("cluster: unexpected first message %q on mux stream %d", first.Type, st.ID())
+	}
+}
+
 // snapshot captures the compact catch-up state sent to a late-joining
 // worker that asked for it: the campaign epoch (tasks submitted so
 // far), the queue depth, and the sorted ids of every outstanding lease.
 // Its cost is O(in-flight tasks) — there is no history to replay.
 func (s *Scheduler) snapshot() *snapshotData {
+	// Pending sums the shards under a consistent view (every shard lock
+	// held at once) — reading shard lengths one at a time could count a
+	// task twice or not at all while pushes and steals are in flight.
 	snap := &snapshotData{
 		Epoch:   uint64(atomic.LoadInt64(&s.stats.Submitted)),
-		Pending: len(s.pending),
+		Pending: s.queue.queued(),
 	}
 	s.workersMu.Lock()
 	for w := range s.workers {
@@ -336,14 +447,13 @@ func (s *Scheduler) runWorkerProxy(conn net.Conn, cd codec, first *message) {
 
 	go w.readLoop()
 
+	// Each proxy pops from its own home shard first (assigned round-robin
+	// so proxies spread across shards) and steals from the rest.
+	waiter := s.queue.newWaiter(s.nextHome.Add(1))
 	for {
-		var t *task
-		select {
-		case <-s.closed:
+		t, ok := s.queue.pop(waiter, w.dead)
+		if !ok {
 			return
-		case <-w.dead:
-			return
-		case t = <-s.pending:
 		}
 		if t.isDone() {
 			continue
@@ -533,12 +643,10 @@ func (s *Scheduler) requeue(t *task, worker, why string) {
 	}
 	atomic.AddInt64(&s.stats.Reassigned, 1)
 	s.event(EventRequeue, worker, t.id, why)
-	select {
-	case s.pending <- t:
-	case <-s.closed:
-		// Dropping the task is deliberate: the client connection is going
-		// down with the scheduler, and a reconnecting client resubmits.
-	}
+	// A push that fails means the scheduler closed; dropping the task is
+	// deliberate — the client connection is going down with the scheduler,
+	// and a reconnecting client resubmits.
+	s.queue.push(t)
 }
 
 // runClientProxy accepts submissions from one client connection and
@@ -570,9 +678,7 @@ func (s *Scheduler) runClientProxy(cd codec, first *message) {
 	submit := func(m *message) error {
 		t := &task{id: m.TaskID, payload: m.Payload, reply: make(chan *message, 1)}
 		atomic.AddInt64(&s.stats.Submitted, 1)
-		select {
-		case s.pending <- t:
-		case <-s.closed:
+		if !s.queue.push(t) {
 			return errors.New("scheduler closed")
 		}
 		go func() {
@@ -614,6 +720,6 @@ var _ = log.Printf
 // String describes the scheduler state for diagnostics.
 func (s *Scheduler) String() string {
 	st := s.Stats()
-	return fmt.Sprintf("Scheduler{addr=%s workers=%d submitted=%d completed=%d failed=%d reassigned=%d expired=%d stale=%d}",
-		s.Addr(), st.Workers, st.Submitted, st.Completed, st.Failed, st.Reassigned, st.Expired, st.Stale)
+	return fmt.Sprintf("Scheduler{addr=%s workers=%d submitted=%d completed=%d failed=%d reassigned=%d expired=%d stale=%d queue_waits=%d}",
+		s.Addr(), st.Workers, st.Submitted, st.Completed, st.Failed, st.Reassigned, st.Expired, st.Stale, st.QueueWaits)
 }

@@ -23,11 +23,17 @@ func sampleMessages() []Message {
 		{Type: TypeHeartbeat, TaskID: []byte("task-5")},
 		{Type: TypeSnapshot, Epoch: 12345, Pending: 7, Leases: [][]byte{[]byte("a"), []byte("lease-b")}},
 		{Type: TypeSnapshot},
+		{Type: TypeMuxOpen, TaskID: []byte{0, 0, 0, 1}},
+		{Type: TypeMuxData, TaskID: []byte{0, 0, 0, 1}, Payload: []byte("stream bytes"), Flags: FlagCoalesced},
+		{Type: TypeMuxData, TaskID: []byte{0, 0, 0, 2}},
+		{Type: TypeMuxClose, TaskID: []byte{0, 0, 0, 2}},
+		{Type: TypeMuxWindow, TaskID: []byte{0, 0, 0, 1}, Window: 131072},
 	}
 }
 
 func equalMessages(a, b *Message) bool {
-	if a.Type != b.Type || a.Flags != b.Flags || a.Epoch != b.Epoch || a.Pending != b.Pending {
+	if a.Type != b.Type || a.Flags != b.Flags || a.Epoch != b.Epoch ||
+		a.Pending != b.Pending || a.Window != b.Window {
 		return false
 	}
 	if !bytes.Equal(a.TaskID, b.TaskID) || !bytes.Equal(a.Name, b.Name) ||

@@ -54,6 +54,7 @@ type Worker struct {
 
 	addr      string
 	transport Transport
+	dialer    Dialer
 	wire      wireCounters
 
 	mu      sync.Mutex // guards conn, cd, snap, closed
@@ -76,7 +77,26 @@ func NewWorkerTransport(addr, name string, handler Handler, tr Transport) (*Work
 	if handler == nil {
 		return nil, fmt.Errorf("cluster: worker needs a handler")
 	}
-	w := &Worker{Name: name, Handler: handler, addr: addr, transport: tr}
+	w := &Worker{Name: name, Handler: handler, addr: addr, transport: tr, dialer: tcpDialer(addr)}
+	conn, cd, snap, err := w.dialAndRegister()
+	if err != nil {
+		return nil, err
+	}
+	w.conn, w.cd, w.snap = conn, cd, snap
+	return w, nil
+}
+
+// NewWorkerMux dials the scheduler through a shared MuxDialer: the
+// worker's "connection" is one logical stream multiplexed with its
+// siblings over the dialer's TCP pool.  Framing is binary (the only
+// framing mux carries); reconnection works exactly as over TCP — each
+// re-dial just opens a fresh stream, re-establishing a dead physical
+// session lazily if its slot needs one.
+func NewWorkerMux(d *MuxDialer, name string, handler Handler) (*Worker, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("cluster: worker needs a handler")
+	}
+	w := &Worker{Name: name, Handler: handler, addr: d.Addr, transport: TransportBinary, dialer: d}
 	conn, cd, snap, err := w.dialAndRegister()
 	if err != nil {
 		return nil, err
@@ -90,7 +110,7 @@ func NewWorkerTransport(addr, name string, handler Handler, tr Transport) (*Work
 // costs one compact frame — where the campaign stands and which leases
 // are outstanding — never a replay of history.
 func (w *Worker) dialAndRegister() (net.Conn, codec, *snapshotData, error) {
-	conn, err := net.Dial("tcp", w.addr)
+	conn, err := w.dialer.Dial()
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/deepmd"
@@ -27,16 +28,25 @@ func TestGoldenCampaignTransportDifferential(t *testing.T) {
 		name      string
 		transport cluster.Transport
 		threads   int
+		muxConns  int
 	}{
-		{"binary_threads1", cluster.TransportBinary, 1},
-		{"binary_threads8", cluster.TransportBinary, 8},
-		{"json_threads1", cluster.TransportJSON, 1},
+		{"binary_threads1", cluster.TransportBinary, 1, 0},
+		{"binary_threads8", cluster.TransportBinary, 8, 0},
+		{"json_threads1", cluster.TransportJSON, 1, 0},
+		// The mux leg multiplexes both workers and the client over one
+		// shared TCP connection with coalescing on: batching frames must
+		// never change a byte of what they carry.
+		{"mux_conns1_threads1", cluster.TransportBinary, 1, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			worker := &GoldenEvaluator{Train: train, Val: val, Threads: tc.threads}
-			lc, err := cluster.NewLocalCluster(2, cluster.EvalHandler(worker), 0,
-				cluster.WithTransport(tc.transport))
+			opts := []cluster.LocalOption{cluster.WithTransport(tc.transport)}
+			if tc.muxConns > 0 {
+				opts = append(opts, cluster.WithMuxConns(tc.muxConns),
+					cluster.WithCoalesce(200*time.Microsecond))
+			}
+			lc, err := cluster.NewLocalCluster(2, cluster.EvalHandler(worker), 0, opts...)
 			if err != nil {
 				t.Fatalf("local cluster: %v", err)
 			}
@@ -78,9 +88,17 @@ func TestGoldenLCurveTransportInvariance(t *testing.T) {
 		return json.Marshal(buf.String())
 	}
 
-	for _, tr := range []cluster.Transport{cluster.TransportBinary, cluster.TransportJSON} {
-		t.Run(tr.String(), func(t *testing.T) {
-			lc, err := cluster.NewLocalCluster(1, handler, 0, cluster.WithTransport(tr))
+	legs := []struct {
+		name string
+		opts []cluster.LocalOption
+	}{
+		{"binary", []cluster.LocalOption{cluster.WithTransport(cluster.TransportBinary)}},
+		{"json", []cluster.LocalOption{cluster.WithTransport(cluster.TransportJSON)}},
+		{"mux", []cluster.LocalOption{cluster.WithMuxConns(1), cluster.WithCoalesce(200 * time.Microsecond)}},
+	}
+	for _, leg := range legs {
+		t.Run(leg.name, func(t *testing.T) {
+			lc, err := cluster.NewLocalCluster(1, handler, 0, leg.opts...)
 			if err != nil {
 				t.Fatalf("local cluster: %v", err)
 			}
@@ -88,11 +106,11 @@ func TestGoldenLCurveTransportInvariance(t *testing.T) {
 
 			out, err := lc.Client.Submit(context.Background(), json.RawMessage(`{}`))
 			if err != nil {
-				t.Fatalf("lcurve round trip via %v: %v", tr, err)
+				t.Fatalf("lcurve round trip via %s: %v", leg.name, err)
 			}
 			var lcurve string
 			if err := json.Unmarshal(out, &lcurve); err != nil {
-				t.Fatalf("bad lcurve payload via %v: %v", tr, err)
+				t.Fatalf("bad lcurve payload via %s: %v", leg.name, err)
 			}
 			checkGolden(t, "lcurve.out", []byte(lcurve))
 		})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/mux"
 	"repro/internal/hpo"
 	"repro/internal/service"
 )
@@ -80,6 +81,10 @@ func TestHTTPCampaignLifecycle(t *testing.T) {
 	_, srv := newTestServer(t, func(cfg *service.Config) {
 		cfg.SchedulerWire = func() cluster.WireStats {
 			return cluster.WireStats{FramesIn: 7, FramesOut: 9, BytesIn: 512, BytesOut: 1024, BinaryConns: 3}
+		}
+		cfg.SchedulerQueue = func() []int { return []int{2, 0, 5} }
+		cfg.SchedulerMux = func() mux.Stats {
+			return mux.Stats{Sessions: 2, Streams: 11, FramesOut: 40, Flushes: 13, BatchedFlushes: 6, CoalescedFrames: 27}
 		}
 	})
 	base := srv.URL
@@ -206,6 +211,9 @@ func TestHTTPCampaignLifecycle(t *testing.T) {
 		"repro_service_memo_misses_total",
 		"repro_cluster_wire_frames_in_total 7",
 		`repro_cluster_wire_conns_total{transport="binary"} 3`,
+		`repro_cluster_queue_depth{shard="2"} 5`,
+		"repro_cluster_mux_sessions_total 2",
+		"repro_cluster_mux_coalesced_frames_total 27",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

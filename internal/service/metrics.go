@@ -60,6 +60,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&buf, "# TYPE repro_cluster_tasks_reassigned_total counter\nrepro_cluster_tasks_reassigned_total %d\n", st.Reassigned)
 		fmt.Fprintf(&buf, "# TYPE repro_cluster_tasks_expired_total counter\nrepro_cluster_tasks_expired_total %d\n", st.Expired)
 		fmt.Fprintf(&buf, "# TYPE repro_cluster_tasks_stale_total counter\nrepro_cluster_tasks_stale_total %d\n", st.Stale)
+		fmt.Fprintf(&buf, "# HELP repro_cluster_queue_waits_total Submissions that blocked on a full pending queue (backpressure).\n")
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_queue_waits_total counter\nrepro_cluster_queue_waits_total %d\n", st.QueueWaits)
 		fmt.Fprintf(&buf, "# TYPE repro_cluster_workers gauge\nrepro_cluster_workers %d\n", len(workers))
 		fmt.Fprintf(&buf, "# TYPE repro_cluster_worker_inflight gauge\n")
 		for _, ws := range workers { // WorkerStats arrives sorted by name
@@ -81,6 +83,25 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&buf, "# TYPE repro_cluster_wire_conns_total counter\n")
 		fmt.Fprintf(&buf, "repro_cluster_wire_conns_total{transport=\"binary\"} %d\n", ws.BinaryConns)
 		fmt.Fprintf(&buf, "repro_cluster_wire_conns_total{transport=\"json\"} %d\n", ws.JSONConns)
+	}
+	if s.cfg.SchedulerQueue != nil {
+		depths := s.cfg.SchedulerQueue()
+		fmt.Fprintf(&buf, "# HELP repro_cluster_queue_depth Pending tasks per dispatch-queue shard.\n")
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_queue_depth gauge\n")
+		for i, d := range depths {
+			fmt.Fprintf(&buf, "repro_cluster_queue_depth{shard=\"%d\"} %d\n", i, d)
+		}
+	}
+	if s.cfg.SchedulerMux != nil {
+		ms := s.cfg.SchedulerMux()
+		fmt.Fprintf(&buf, "# HELP repro_cluster_mux Session-layer multiplexing and frame-coalescing counters.\n")
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_sessions_total counter\nrepro_cluster_mux_sessions_total %d\n", ms.Sessions)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_streams_total counter\nrepro_cluster_mux_streams_total %d\n", ms.Streams)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_frames_in_total counter\nrepro_cluster_mux_frames_in_total %d\n", ms.FramesIn)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_frames_out_total counter\nrepro_cluster_mux_frames_out_total %d\n", ms.FramesOut)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_flushes_total counter\nrepro_cluster_mux_flushes_total %d\n", ms.Flushes)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_batched_flushes_total counter\nrepro_cluster_mux_batched_flushes_total %d\n", ms.BatchedFlushes)
+		fmt.Fprintf(&buf, "# TYPE repro_cluster_mux_coalesced_frames_total counter\nrepro_cluster_mux_coalesced_frames_total %d\n", ms.CoalescedFrames)
 	}
 	if s.cfg.SchedulerEvents != nil {
 		types, counts := s.cfg.SchedulerEvents.Counts()

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/mux"
 	"repro/internal/ea"
 	"repro/internal/uuid"
 )
@@ -78,6 +79,13 @@ type Config struct {
 	// counters into /metrics (wire it to Scheduler.Wire, or Client.Wire
 	// for a remote backend).
 	SchedulerWire func() cluster.WireStats
+	// SchedulerQueue, if non-nil, feeds per-shard pending-queue depths
+	// into /metrics (wire it to Scheduler.QueueDepths).
+	SchedulerQueue func() []int
+	// SchedulerMux, if non-nil, feeds mux session/stream/coalescing
+	// counters into /metrics (wire it to Scheduler.Mux, or
+	// MuxDialer.Stats for a remote backend dialing through a mux pool).
+	SchedulerMux func() mux.Stats
 }
 
 func (cfg Config) withDefaults() Config {

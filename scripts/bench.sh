@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# bench.sh — hot-path benchmark runner for the binary wire-protocol PR.
+# bench.sh — hot-path benchmark runner for the scheduler scale-out PR.
 #
-# Runs the cluster transport benchmarks and writes BENCH_7.json at the
-# repo root: ns/op and allocs/op per benchmark, the end-to-end scheduler
-# throughput speedup of binary framing over JSON at every grid point
-# (workers × loopback/chaos-proxy; the acceptance metric is the
-# workers=100 loopback point, target >= 2x), and the in-memory codec
-# round-trip speedup that isolates pure framing cost from the sockets.
+# Runs the cluster transport benchmarks and writes BENCH_8.json at the
+# repo root: ns/op and allocs/op per benchmark, plus four speedup
+# sections —
+#   sched_throughput_speedup_vs_json    binary over JSON per grid point
+#                                       (carried over from BENCH_7)
+#   codec_speedup_vs_json               pure framing cost, no sockets
+#   sched_throughput_speedup_vs_bench7  the scale-out grid (mux over a
+#                                       2-connection pool vs one conn
+#                                       per peer) against the committed
+#                                       BENCH_7 binary baselines; the
+#                                       acceptance metric is the
+#                                       workers=500 mux point, >= 2x
+#   sched_throughput_speedup_mux_vs_perconn
+#                                       mux vs per-conn within this run,
+#                                       defined at every fleet size
+#                                       including workers=1000 (which
+#                                       has no BENCH_7 baseline)
 #
 # Each benchmark runs BENCHCOUNT times and the fastest rep is recorded,
 # which keeps the speedup ratios stable on noisy shared machines.
@@ -19,7 +30,8 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-0.3s}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
-OUT="${OUT:-BENCH_7.json}"
+OUT="${OUT:-BENCH_8.json}"
+BASELINE="${BASELINE:-BENCH_7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -27,6 +39,16 @@ go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$BENCHCOUNT" \
     ./internal/cluster/ | tee "$raw"
 
 awk -v benchtime="$BENCHTIME" '
+# First input file: the committed BENCH_7 baselines (binary framing, one
+# TCP connection per peer) keyed by worker count.
+FNR == NR {
+    if (match($0, /"BenchmarkSchedulerThroughput\/workers=[0-9]+\/transport=binary": \{"ns_per_op": [0-9.]+/)) {
+        s = substr($0, RSTART, RLENGTH)
+        match(s, /workers=[0-9]+/); w = substr(s, RSTART + 8, RLENGTH - 8)
+        match(s, /ns_per_op": [0-9.]+/); base[w] = substr(s, RSTART + 12, RLENGTH - 12)
+    }
+    next
+}
 $1 ~ /^Benchmark/ && $4 == "ns/op" {
     name = $1; sub(/-[0-9]+$/, "", name)
     if (!(name in ns)) { order[++n] = name }
@@ -43,8 +65,7 @@ END {
         if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
         printf "}%s\n", (i < n) ? "," : ""
     }
-    # End-to-end scheduler throughput, binary over JSON, per grid point:
-    # ns/op of the transport=json twin divided by the binary run.
+    # End-to-end scheduler throughput, binary over JSON, per grid point.
     printf "  },\n  \"sched_throughput_speedup_vs_json\": {\n"
     np = 0
     for (i = 1; i <= n; i++) {
@@ -66,7 +87,31 @@ END {
         pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[twin] / ns[name])
     }
     for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
+    # Scale-out grid against the committed BENCH_7 binary baselines: the
+    # same worker count over one connection per peer, pre-sharding and
+    # pre-mux.  Defined wherever BENCH_7 has the matching point.
+    printf "  },\n  \"sched_throughput_speedup_vs_bench7\": {\n"
+    np = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name !~ /^BenchmarkSchedulerThroughputScaleOut\//) continue
+        w = name; sub(/^.*workers=/, "", w); sub(/\/.*$/, "", w)
+        if (!(w in base) || ns[name] + 0 == 0) continue
+        pairs[++np] = sprintf("    \"%s\": %.2f", name, base[w] / ns[name])
+    }
+    for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
+    # Mux vs per-conn within this run, defined at every fleet size.
+    printf "  },\n  \"sched_throughput_speedup_mux_vs_perconn\": {\n"
+    np = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name !~ /^BenchmarkSchedulerThroughputScaleOut.*mode=mux$/) continue
+        twin = name; sub(/mode=mux$/, "mode=perconn", twin)
+        if (!(twin in ns) || ns[name] + 0 == 0) continue
+        pairs[++np] = sprintf("    \"%s\": %.2f", name, ns[twin] / ns[name])
+    }
+    for (i = 1; i <= np; i++) printf "%s%s\n", pairs[i], (i < np) ? "," : ""
     printf "  }\n}\n"
-}' "$raw" > "$OUT"
+}' "$BASELINE" "$raw" > "$OUT"
 
 echo "wrote $OUT"
